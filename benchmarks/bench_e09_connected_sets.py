@@ -1,0 +1,107 @@
+"""E9 — Definition 3.3 / Lemma 3.1: connected-set growth in expansions.
+
+Reproduced claim: the number of *unbounded* connected sets a recursion's
+expansion develops (Definition 3.3, measured here on a finite prefix) equals
+the number predicted by the full A/V graph (Lemma 3.1 / Theorem 3.1) — 1 for
+the one-sided examples, 2 for the two-sided ones — and within one string the
+largest connected set grows linearly with the recursion depth while every
+other set stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import structural_sidedness
+from repro.expansion import connected_set_growth, estimate_sidedness, expand
+from repro.workloads import (
+    buys_optimized,
+    buys_unoptimized,
+    canonical_two_sided,
+    example_3_4,
+    example_3_5,
+    same_generation,
+    tc_with_permissions,
+    transitive_closure,
+)
+from .helpers import attach, emit, run_once
+
+CASES = [
+    ("transitive closure", transitive_closure, "t"),
+    ("same generation", same_generation, "sg"),
+    ("Example 3.4", example_3_4, "t"),
+    ("Example 3.5", example_3_5, "t"),
+    ("canonical two-sided", canonical_two_sided, "t"),
+    ("buys (unoptimized)", buys_unoptimized, "buys"),
+    ("buys (optimized)", buys_optimized, "buys"),
+    ("TC with permissions", tc_with_permissions, "t"),
+]
+DEPTH = 12
+
+
+def test_e09_report(benchmark):
+    def build():
+        rows = []
+        for name, factory, predicate in CASES:
+            program = factory()
+            estimate = estimate_sidedness(program, predicate, depth=DEPTH)
+            structural = structural_sidedness(program, predicate)
+            deepest = estimate.per_depth_sizes[-1] if estimate.per_depth_sizes else []
+            rows.append(
+                [
+                    name,
+                    structural,
+                    estimate.k,
+                    estimate.threshold,
+                    deepest[0] if deepest else 0,
+                    deepest[1] if len(deepest) > 1 else 0,
+                    len(deepest),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        f"E9: connected sets after {DEPTH} recursive applications (exit instances removed)",
+        ["recursion", "k (A/V graph)", "k (empirical)", "threshold c'",
+         "largest set", "2nd largest", "number of sets"],
+        rows,
+    )
+    assert all(row[1] == row[2] for row in rows), "Lemma 3.1 cross-validation failed"
+    attach(benchmark, programs=len(rows))
+
+
+def test_e09_growth_series(benchmark):
+    def build():
+        one_sided = connected_set_growth(transitive_closure(), "t", DEPTH)
+        two_sided = connected_set_growth(canonical_two_sided(), "t", DEPTH)
+        return one_sided, two_sided
+
+    one_sided, two_sided = run_once(benchmark, build)
+    rows = []
+    for (depth, sizes_one), (_d, sizes_two) in zip(one_sided, two_sided):
+        rows.append([depth, sizes_one[0] if sizes_one else 0, len(sizes_one),
+                     sizes_two[0] if sizes_two else 0, len(sizes_two)])
+    emit(
+        "E9: per-depth connected-set growth (one-sided vs canonical two-sided)",
+        ["depth", "TC largest set", "TC sets", "two-sided largest set", "two-sided sets"],
+        rows,
+    )
+    # one-sided: a single set growing linearly; two-sided: exactly two large sets
+    assert rows[-1][2] == 1
+    assert rows[-1][4] == 2
+    assert rows[-1][1] == DEPTH
+    attach(benchmark, depth=DEPTH)
+
+
+@pytest.mark.parametrize("name, factory, predicate", CASES, ids=[c[0] for c in CASES])
+def test_e09_estimate_speed(benchmark, name, factory, predicate):
+    program = factory()
+    estimate = run_once(benchmark, estimate_sidedness, program, predicate, DEPTH)
+    attach(benchmark, k=estimate.k)
+
+
+def test_e09_expansion_generation_speed(benchmark):
+    strings = run_once(benchmark, expand, canonical_two_sided(), "t", 40)
+    assert len(strings) == 41
+    attach(benchmark, deepest_atoms=len(strings[-1].atoms))

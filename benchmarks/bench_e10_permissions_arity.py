@@ -1,0 +1,108 @@
+"""E10 — Example 4.1: the limits of arity reduction.
+
+Reproduced claim: the canonical one-sided recursion admits an arity-reducing
+evaluation (unary carry/seen, as in Figures 7/8), but the one-sided
+"transitive closure with permissions" does not obviously admit one — the
+permission predicate mentions both distinguished variables, so the compiled
+schema keeps a binary carry and its state grows with the number of
+(destination-constrained) pairs rather than with the number of reachable
+nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OneSidedSchema, one_sided_query
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import (
+    edge_database,
+    permissions_database,
+    random_graph,
+    tc_with_permissions,
+    transitive_closure,
+)
+from .helpers import attach, emit, run_once
+
+SIZES = [10, 20, 40]  # number of graph nodes
+
+
+def make_workloads(nodes: int):
+    edges = random_graph(nodes, 3 * nodes, seed=nodes)
+    tc_db = edge_database(edges)
+    perm_db = permissions_database(edges, permission_fraction=0.7, seed=nodes)
+    return tc_db, perm_db
+
+
+def comparison_rows(nodes: int):
+    tc_db, perm_db = make_workloads(nodes)
+    query = SelectionQuery.of("t", 2, {0: 0})
+
+    plain = one_sided_query(transitive_closure(), tc_db, query)
+    plain_ref, _ = seminaive_query(transitive_closure(), tc_db, "t", {0: 0})
+    assert plain.answers == plain_ref
+
+    permissions = one_sided_query(tc_with_permissions(), perm_db, query)
+    perm_ref, _ = seminaive_query(tc_with_permissions(), perm_db, "t", {0: 0})
+    assert permissions.answers == perm_ref
+
+    return [
+        [f"canonical TC, nodes={nodes}", int(plain.stats.extra["carry_arity"]),
+         plain.stats.peak_state_tuples, plain.stats.peak_state_columns, len(plain.answers)],
+        [f"TC with permissions, nodes={nodes}", int(permissions.stats.extra["carry_arity"]),
+         permissions.stats.peak_state_tuples, permissions.stats.peak_state_columns, len(permissions.answers)],
+    ]
+
+
+def test_e10_report(benchmark):
+    def build():
+        rows = []
+        for nodes in SIZES:
+            rows.extend(comparison_rows(nodes))
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "E10: carry arity and state size — canonical TC vs TC with permissions (t(0, Y)?)",
+        ["recursion / size", "carry arity", "peak state tuples", "peak state columns", "answers"],
+        rows,
+    )
+    canonical = [row for row in rows if str(row[0]).startswith("canonical")]
+    permissions = [row for row in rows if str(row[0]).startswith("TC with")]
+    assert all(row[1] == 1 for row in canonical)
+    assert all(row[1] == 2 for row in permissions)
+    attach(benchmark, sizes=len(SIZES))
+
+
+def test_e10_plans(benchmark):
+    def plans():
+        query = SelectionQuery.of("t", 2, {0: 0})
+        plain = OneSidedSchema(transitive_closure(), "t", query).plan
+        perm = OneSidedSchema(tc_with_permissions(), "t", query).plan
+        return plain, perm
+
+    plain, perm = run_once(benchmark, plans)
+    print()
+    print(f"  canonical TC plan:        {plain.describe()}")
+    print(f"  TC-with-permissions plan: {perm.describe()}")
+    assert plain.carry_arity == 1
+    assert perm.carry_arity == 2
+    attach(benchmark, canonical_carry=plain.carry_arity, permissions_carry=perm.carry_arity)
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_e10_permissions_schema(benchmark, nodes):
+    _tc_db, perm_db = make_workloads(nodes)
+    query = SelectionQuery.of("t", 2, {0: 0})
+    result = run_once(benchmark, one_sided_query, tc_with_permissions(), perm_db, query)
+    attach(benchmark, peak_state=result.stats.peak_state_tuples,
+           tuples_examined=result.stats.tuples_examined, answers=len(result.answers))
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_e10_canonical_schema(benchmark, nodes):
+    tc_db, _perm_db = make_workloads(nodes)
+    query = SelectionQuery.of("t", 2, {0: 0})
+    result = run_once(benchmark, one_sided_query, transitive_closure(), tc_db, query)
+    attach(benchmark, peak_state=result.stats.peak_state_tuples,
+           tuples_examined=result.stats.tuples_examined, answers=len(result.answers))

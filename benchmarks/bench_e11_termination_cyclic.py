@@ -1,0 +1,90 @@
+"""E11 — Property 1: simple termination conditions, even on cyclic data.
+
+Reproduced claim: the one-sided algorithms terminate with the plain
+``while carry not empty`` test on arbitrary extensional relations — including
+cyclic ones — because the ``carry − seen`` step drains the carry once every
+reachable value has appeared.  The number of iterations is bounded by the
+length of the longest simple path explored, and no special cycle detection is
+needed.  (The counting method, by contrast, is the textbook example of a
+strategy that needs extra machinery on cyclic data; its failure is checked in
+the counting tests.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import aho_ullman_selection, henschen_naqvi_selection, one_sided_query
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import cycle, edge_database, random_graph, transitive_closure
+from .helpers import attach, emit, run_once
+
+CYCLE_LENGTHS = [10, 100, 1000]
+
+
+def cyclic_database(length: int):
+    """One big cycle plus chords, so every node reaches every node."""
+    edges = cycle(length)
+    edges += [(i, (i + length // 3) % length) for i in range(0, length, 7)]
+    return edge_database(edges)
+
+
+def test_e11_report(benchmark):
+    def build():
+        rows = []
+        for length in CYCLE_LENGTHS:
+            database = cyclic_database(length)
+            forward, forward_stats = henschen_naqvi_selection(database, 0)
+            backward, backward_stats = aho_ullman_selection(database, 0)
+            rows.append([f"cycle length {length}", len(forward), forward_stats.iterations,
+                         len(backward), backward_stats.iterations])
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "E11: termination on cyclic data (query constant 0)",
+        ["workload", "t(0, Y) answers", "Fig 8 iterations", "t(X, 0) answers", "Fig 7 iterations"],
+        rows,
+    )
+    for row, length in zip(rows, CYCLE_LENGTHS):
+        assert row[2] <= length + 2  # iterations bounded by the cycle length (Property 1)
+        assert row[4] <= length + 2
+    attach(benchmark, lengths=CYCLE_LENGTHS)
+
+
+@pytest.mark.parametrize("length", CYCLE_LENGTHS)
+def test_e11_forward_on_cycle(benchmark, length):
+    database = cyclic_database(length)
+    answers, stats = run_once(benchmark, henschen_naqvi_selection, database, 0)
+    assert len(answers) == length  # the whole cycle is reachable
+    attach(benchmark, iterations=stats.iterations, answers=len(answers))
+
+
+@pytest.mark.parametrize("length", CYCLE_LENGTHS[:2])
+def test_e11_schema_on_cycle_matches_seminaive(benchmark, length):
+    database = cyclic_database(length)
+    program = transitive_closure()
+    query = SelectionQuery.of("t", 2, {0: 0})
+    result = run_once(benchmark, one_sided_query, program, database, query)
+    reference, _ = seminaive_query(program, database, "t", {0: 0})
+    assert result.answers == reference
+    attach(benchmark, answers=len(result.answers), iterations=result.stats.iterations)
+
+
+def test_e11_strongly_connected_random_graph(benchmark):
+    """A dense strongly-connected random graph: still terminates, still exact."""
+    edges = cycle(60) + random_graph(60, 200, seed=3)
+    database = edge_database(edges)
+
+    def both():
+        forward, forward_stats = henschen_naqvi_selection(database, 0)
+        backward, backward_stats = aho_ullman_selection(database, 0)
+        return forward, backward, forward_stats, backward_stats
+
+    forward, backward, forward_stats, backward_stats = run_once(benchmark, both)
+    reference_forward, _ = seminaive_query(transitive_closure(), database, "t", {0: 0})
+    reference_backward, _ = seminaive_query(transitive_closure(), database, "t", {1: 0})
+    assert forward == {row[1] for row in reference_forward}
+    assert backward == {row[0] for row in reference_backward}
+    attach(benchmark, forward_iterations=forward_stats.iterations,
+           backward_iterations=backward_stats.iterations)

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one figure or quantitative claim of the
+paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+paper-vs-measured record).  The helpers here keep the modules small: a
+standard way to print a report table (so ``pytest benchmarks/ -s`` shows the
+same rows EXPERIMENTS.md records) and to attach the headline numbers to
+``benchmark.extra_info`` (so they survive into pytest-benchmark's output even
+without ``-s``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.analysis import format_table
+
+
+def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Print (and return) a report table for one experiment."""
+    table = format_table(headers, rows, title=title)
+    print()
+    print(table)
+    return table
+
+
+def attach(benchmark, **info) -> None:
+    """Attach headline numbers to the pytest-benchmark record."""
+    if benchmark is None:
+        return
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` through pytest-benchmark with a small, fixed effort.
+
+    The interesting measurements in this harness are the instrumentation
+    counters (tuples examined, state size), not sub-millisecond timing noise,
+    so every benchmark uses a handful of rounds.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1, warmup_rounds=0)

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments where the PEP 660 editable
+build path is unavailable (e.g. offline machines without the ``wheel``
+package), via ``python setup.py develop`` or legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Rendering of A/V graphs (Figures 2–6 of the paper).
+
+The paper presents its examples as small drawings of A/V graphs.  This module
+produces two textual forms of the same information:
+
+* :func:`to_dot` — Graphviz DOT source, for readers who want to render the
+  figures graphically, and
+* :func:`describe` — a plain-text summary (one line per component, listing the
+  member nodes, the edges, and the cycle-weight subgroup), which is what the
+  E1 benchmark prints so the figure content can be compared against the paper
+  without any external tooling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .build import AVGraph, Edge, IDENTITY, PREDICATE, UNIFICATION
+from .cycles import analyze_components
+
+
+def _edge_attributes(edge: Edge) -> str:
+    if edge.kind == UNIFICATION:
+        return '[label="+1", style=solid, color=black, arrowhead=normal]'
+    if edge.kind == PREDICATE:
+        return "[style=dashed, dir=none]"
+    return "[style=solid, dir=none]"
+
+
+def to_dot(graph: AVGraph, name: str = "av_graph") -> str:
+    """Graphviz DOT source for an A/V graph.
+
+    Variable nodes render as circles, argument nodes as boxes; unification
+    edges are the only directed edges (labelled ``+1``), predicate edges are
+    dashed, identity edges plain.
+    """
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=BT;"]
+    for node in sorted(graph.nodes, key=lambda n: n.label()):
+        shape = "circle" if node.__class__.__name__ == "VarNode" else "box"
+        lines.append(f'  "{node.label()}" [shape={shape}];')
+    for edge in graph.edges:
+        lines.append(
+            f'  "{edge.source.label()}" -> "{edge.target.label()}" {_edge_attributes(edge)};'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def describe(graph: AVGraph, title: str = "") -> str:
+    """A plain-text description of the graph, one block per connected component.
+
+    The output lists, for each component, its nodes, its edges (with the edge
+    kind and weight), the cycle-weight gcd, and whether the component
+    satisfies each clause of Theorem 3.1 — i.e. everything needed to check a
+    figure of the paper by eye.
+    """
+    lines: List[str] = []
+    header = title or ("full A/V graph" if graph.full else "A/V graph")
+    lines.append(f"{header} for: {graph.rule}")
+    components = analyze_components(graph)
+    if not components:
+        lines.append("  (empty graph: every component was pruned)")
+    for index, component in enumerate(components, start=1):
+        lines.append(f"  component {index}: nodes = {{{', '.join(component.labels())}}}")
+        member_edges = [
+            edge
+            for edge in graph.edges
+            if edge.source in component.nodes and edge.target in component.nodes
+        ]
+        for edge in sorted(member_edges, key=lambda e: (e.source.label(), e.target.label())):
+            if edge.kind == UNIFICATION:
+                lines.append(
+                    f"    {edge.source.label()} --(+1 unification)--> {edge.target.label()}"
+                )
+            elif edge.kind == PREDICATE:
+                lines.append(
+                    f"    {edge.source.label()} --(predicate)-- {edge.target.label()}"
+                )
+            else:
+                lines.append(
+                    f"    {edge.source.label()} --(identity)-- {edge.target.label()}"
+                )
+        lines.append(
+            f"    cycle-weight gcd = {component.cycle_gcd}"
+            f" (nonzero cycle: {'yes' if component.has_nonzero_weight_cycle else 'no'},"
+            f" weight-1 cycle: {'yes' if component.has_weight_one_cycle else 'no'})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Baseline evaluation strategies the paper compares against: magic sets and counting."""
+
+from .counting import (
+    ChainShape,
+    counting_query,
+    counting_without_counts_query,
+    detect_chain_shape,
+)
+from .magic import MagicRewriting, magic_query, magic_rewrite
+
+__all__ = [
+    "ChainShape",
+    "MagicRewriting",
+    "counting_query",
+    "counting_without_counts_query",
+    "detect_chain_shape",
+    "magic_query",
+    "magic_rewrite",
+]

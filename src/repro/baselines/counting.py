@@ -1,0 +1,210 @@
+"""The counting method — the other baseline Section 4 points to.
+
+The counting (or "counting sets") method [BMSU86, SZ86] evaluates a selection
+on a chain-shaped linear recursion by remembering, for every value reached
+while descending the recursion, *how many* recursive-rule applications were
+needed to reach it, and then re-applying the "down" predicate that many times
+while ascending.  It is the textbook remedy for exactly the two difficulties
+Section 4 identifies in many-sided recursions (intermediate values must be
+reused at several depths, and every string adds new instances on both sides of
+the exit predicate) — at the cost of keeping the depth index in the state and
+of not terminating on cyclic data unless a depth bound is imposed.
+
+Scope: the implementation covers *chain recursions*, i.e. definitions whose
+single linear recursive rule has the shape
+
+    t(X, Y) :- up(X, W), t(W, Z), down(Z, Y).      (canonical two-sided)
+    t(X, Y) :- up(X, W), t(W, Y).                  (canonical one-sided)
+
+with arbitrary exit rules, and queries binding the first column.  This covers
+the recursions the paper's Section 4 analysis is about; other shapes raise
+:class:`~repro.datalog.errors.ProgramError`.  The paper's closing question —
+whether deleting the counting fields afterwards always yields a correct
+reduced-arity program for one-sided recursions — is exercised by the E12
+benchmark via :func:`counting_without_counts_query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError, ProgramError
+from ..datalog.relation import Value
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Variable, is_variable
+from ..engine import algebra
+from ..engine.cq_eval import evaluate_body
+from ..engine.instrumentation import EvaluationStats
+from ..engine.query import QueryResult, SelectionQuery
+
+
+@dataclass
+class ChainShape:
+    """The decomposition of a chain recursion's recursive rule."""
+
+    predicate: str
+    recursive_rule: Rule
+    exit_rules: List[Rule]
+    #: the "up" predicate linking the head's first column to the call's first column
+    up_predicate: str
+    #: the "down" predicate linking the call's second column back to the head's
+    #: second column, or ``None`` for the one-sided shape
+    down_predicate: Optional[str]
+
+
+def detect_chain_shape(program: Program, predicate: str) -> ChainShape:
+    """Recognise the chain shape described in the module docstring."""
+    rule = program.linear_recursive_rule(predicate)
+    head = rule.head
+    call = rule.recursive_atom()
+    if head.arity != 2 or call.arity != 2:
+        raise ProgramError("the counting method implementation handles binary chain recursions")
+    head_x, head_y = head.args
+    call_w, call_z = call.args
+    if not all(is_variable(v) for v in (head_x, head_y, call_w, call_z)):
+        raise ProgramError("chain recursions must have variable-only heads and recursive calls")
+
+    up_predicate: Optional[str] = None
+    down_predicate: Optional[str] = None
+    for atom in rule.nonrecursive_atoms():
+        if atom.arity == 2 and atom.args == (head_x, call_w):
+            up_predicate = atom.predicate
+        elif atom.arity == 2 and atom.args == (call_z, head_y):
+            down_predicate = atom.predicate
+        else:
+            raise ProgramError(f"atom {atom} does not fit the chain shape")
+    if up_predicate is None:
+        raise ProgramError("no up-predicate of the form up(X, W) found")
+    if down_predicate is None and call_z != head_y:
+        raise ProgramError("the recursive call's second argument is neither chained down nor invariant")
+
+    return ChainShape(
+        predicate=predicate,
+        recursive_rule=rule,
+        exit_rules=program.exit_rules_for(predicate),
+        up_predicate=up_predicate,
+        down_predicate=down_predicate,
+    )
+
+
+def counting_query(
+    program: Program,
+    database: Database,
+    query: SelectionQuery,
+    max_depth: int = 10_000,
+    stats: Optional[EvaluationStats] = None,
+) -> QueryResult:
+    """Answer ``t(c, Y)`` on a chain recursion with the counting method."""
+    stats = stats if stats is not None else EvaluationStats()
+    stats.start_timer()
+    bindings = query.bindings_dict()
+    if set(bindings) != {0}:
+        raise EvaluationError("the counting method implementation handles queries binding column 0")
+    constant = bindings[0]
+    shape = detect_chain_shape(program, query.predicate)
+
+    relations = {relation.name: relation for relation in database.relations()}
+    up = database.relation_or_empty(shape.up_predicate, 2)
+    down = (
+        database.relation_or_empty(shape.down_predicate, 2)
+        if shape.down_predicate is not None
+        else None
+    )
+
+    # descend: counting(i, w) = w reachable from the constant in exactly i up-steps
+    counting: Dict[int, Set[Value]] = {0: {constant}}
+    depth = 0
+    while counting[depth] and depth < max_depth:
+        stats.record_iteration()
+        next_values = {row[1] for row in algebra.semijoin(counting[depth], up, 0, stats)}
+        depth += 1
+        counting[depth] = next_values
+        stats.record_state(sum(len(v) for v in counting.values()), 2 * sum(len(v) for v in counting.values()))
+        if depth >= max_depth:
+            raise EvaluationError(
+                "the counting method did not terminate within the depth bound; "
+                "the data reachable from the query constant is cyclic"
+            )
+
+    # ascend: apply the exit rules at every depth, then walk the down chain back up
+    answers: Set[Tuple[Value, ...]] = set()
+    head_vars = [arg for arg in shape.recursive_rule.head.args]
+    for level, values in counting.items():
+        if not values:
+            continue
+        exit_seconds: Set[Value] = set()
+        for exit_rule in shape.exit_rules:
+            for value in values:
+                binding = {exit_rule.head.args[0]: value} if is_variable(exit_rule.head.args[0]) else {}
+                for assignment in evaluate_body(exit_rule.body, relations, binding, stats):
+                    second = assignment.get(exit_rule.head.args[1]) if is_variable(exit_rule.head.args[1]) else exit_rule.head.args[1].value
+                    if second is not None:
+                        exit_seconds.add(second)
+        frontier = exit_seconds
+        if down is not None:
+            for _ in range(level):
+                frontier = {row[1] for row in algebra.semijoin(frontier, down, 0, stats)}
+        for value in frontier:
+            answers.add((constant, value))
+
+    answers = query.select(answers)
+    stats.record_produced(len(answers))
+    stats.extra["counting_levels"] = len(counting)
+    stats.stop_timer()
+    return QueryResult(query, answers, stats, strategy="counting")
+
+
+def counting_without_counts_query(
+    program: Program,
+    database: Database,
+    query: SelectionQuery,
+    stats: Optional[EvaluationStats] = None,
+) -> QueryResult:
+    """The "delete the counting fields" variant discussed at the end of Section 4.
+
+    For a *one-sided* chain recursion (no down-predicate) the depth index is
+    never consulted on the way back up, so dropping it leaves a correct unary
+    algorithm — in fact exactly the Henschen–Naqvi algorithm of Figure 8.  The
+    implementation merges the per-depth sets into one ``seen`` set and answers
+    from it; applying it to a recursion that *does* have a down chain would be
+    incorrect, so that case is rejected.
+    """
+    stats = stats if stats is not None else EvaluationStats()
+    shape = detect_chain_shape(program, query.predicate)
+    if shape.down_predicate is not None:
+        raise EvaluationError(
+            "deleting the counting fields is only sound when no down-chain consumes them"
+        )
+    bindings = query.bindings_dict()
+    if set(bindings) != {0}:
+        raise EvaluationError("the counting method implementation handles queries binding column 0")
+    constant = bindings[0]
+
+    stats.start_timer()
+    relations = {relation.name: relation for relation in database.relations()}
+    up = database.relation_or_empty(shape.up_predicate, 2)
+
+    seen: Set[Value] = {constant}
+    carry: Set[Value] = {constant}
+    while carry:
+        stats.record_iteration()
+        carry = {row[1] for row in algebra.semijoin(carry, up, 0, stats)} - seen
+        seen |= carry
+        stats.record_state(len(seen), len(seen))
+
+    answers: Set[Tuple[Value, ...]] = set()
+    for exit_rule in shape.exit_rules:
+        for value in seen:
+            binding = {exit_rule.head.args[0]: value} if is_variable(exit_rule.head.args[0]) else {}
+            for assignment in evaluate_body(exit_rule.body, relations, binding, stats):
+                second = assignment.get(exit_rule.head.args[1]) if is_variable(exit_rule.head.args[1]) else exit_rule.head.args[1].value
+                if second is not None:
+                    answers.add((constant, second))
+    answers = query.select(answers)
+    stats.record_produced(len(answers))
+    stats.extra["carry_arity"] = 1
+    stats.stop_timer()
+    return QueryResult(query, answers, stats, strategy="counting-without-counts")

@@ -1,0 +1,139 @@
+"""The complete detection pipeline suggested by Theorem 3.4.
+
+Theorem 3.2 makes detecting "equivalent to a one-sided recursion" undecidable
+in general, but Section 3 identifies a decidable subclass and a complete
+procedure for it:
+
+1. remove recursively redundant predicates from the recursive rule
+   (the [Nau89b] optimization, reproduced in :mod:`repro.core.redundancy`);
+2. check uniform (un)boundedness;
+3. apply the Theorem 3.1 test to the optimized recursion.
+
+For a uniformly unbounded recursion with a single linear recursive rule, no
+repeated nonrecursive predicates and no recursively redundant predicates,
+Theorem 3.4 guarantees that failing the Theorem 3.1 test means *no* uniformly
+equivalent one-sided definition exists — so on that subclass the procedure is
+complete, not merely sound.
+
+:func:`detect_one_sided` packages the procedure and reports which guarantees
+apply to its verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..datalog.errors import ProgramError
+from ..datalog.rules import Program
+from .boundedness import is_uniformly_bounded_structural
+from .classify import SidednessReport, classify
+from .redundancy import RedundancyRemoval, remove_recursively_redundant
+
+
+@dataclass
+class DetectionOutcome:
+    """The verdict of the complete detection pipeline for one predicate."""
+
+    predicate: str
+    #: the input program
+    original: Program
+    #: the program after redundancy removal (used for the classification)
+    optimized: Program
+    #: what redundancy removal did
+    redundancy: Optional[RedundancyRemoval]
+    #: the Theorem 3.1 report on the optimized program
+    report: Optional[SidednessReport]
+    #: ``True`` when the optimized recursion is one-sided (Theorem 3.1)
+    one_sided: bool
+    #: ``True`` when the recursion is uniformly bounded (then any equivalent
+    #: nonrecursive union is trivially evaluable and sidedness is moot)
+    uniformly_bounded: Optional[bool]
+    #: ``True`` when Theorem 3.4's hypotheses hold, so a negative verdict is a
+    #: proof that no uniformly equivalent one-sided definition exists
+    verdict_is_complete: bool
+    #: human-readable notes accumulated along the way
+    notes: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        verdict = "one-sided" if self.one_sided else "not one-sided"
+        completeness = "complete" if self.verdict_is_complete else "sound only"
+        return f"{self.predicate}: {verdict} ({completeness}) — {'; '.join(self.notes)}"
+
+
+def detect_one_sided(program: Program, predicate: str) -> DetectionOutcome:
+    """Run the redundancy-removal + Theorem 3.1 pipeline for ``predicate``."""
+    notes: List[str] = []
+
+    if not program.is_single_linear_recursion(predicate):
+        notes.append(
+            "the definition does not consist of a single linear recursive rule; "
+            "Theorem 3.2 makes the general problem undecidable, so only the "
+            "structural test on the given rules is reported"
+        )
+        return DetectionOutcome(
+            predicate=predicate,
+            original=program,
+            optimized=program,
+            redundancy=None,
+            report=None,
+            one_sided=False,
+            uniformly_bounded=None,
+            verdict_is_complete=False,
+            notes=notes,
+        )
+
+    redundancy = remove_recursively_redundant(program, predicate)
+    optimized = redundancy.optimized
+    if redundancy.changed:
+        removed = ", ".join(str(atom) for atom in redundancy.removed)
+        notes.append(f"removed recursively redundant atoms: {removed}")
+    else:
+        notes.append("no recursively redundant atoms removed")
+
+    rule = optimized.linear_recursive_rule(predicate)
+    repeated = rule.has_repeated_nonrecursive_predicates()
+    if repeated:
+        notes.append(
+            "the recursive rule repeats a nonrecursive predicate, so the Theorem 3.4 "
+            "completeness guarantee does not apply"
+        )
+
+    uniformly_bounded: Optional[bool] = None
+    if not repeated:
+        try:
+            uniformly_bounded = is_uniformly_bounded_structural(optimized, predicate)
+        except ProgramError:
+            uniformly_bounded = None
+    if uniformly_bounded:
+        notes.append(
+            "the optimized recursion is uniformly bounded; it is equivalent to a finite "
+            "union of conjunctive queries and any selection on it is cheap regardless of sidedness"
+        )
+
+    report = classify(optimized, predicate)
+    one_sided = report.is_one_sided
+    notes.append(report.reason())
+
+    residual_redundant = bool(redundancy.theorem_3_3_candidates) and not redundancy.changed
+    verdict_is_complete = (
+        not repeated
+        and uniformly_bounded is False
+        and not residual_redundant
+    ) or one_sided
+    if verdict_is_complete and not one_sided:
+        notes.append(
+            "Theorem 3.4 applies: no one-sided definition is uniformly equivalent to this recursion"
+        )
+
+    return DetectionOutcome(
+        predicate=predicate,
+        original=program,
+        optimized=optimized,
+        redundancy=redundancy,
+        report=report,
+        one_sided=one_sided,
+        uniformly_bounded=uniformly_bounded,
+        verdict_is_complete=verdict_is_complete,
+        notes=notes,
+    )

@@ -1,0 +1,150 @@
+"""A small query processor that puts the paper's advice into practice.
+
+The conclusion of the paper: "it is worthwhile for recursive query processors
+to check for one-sided recursions, and to use one-sided evaluation algorithms
+when a one-sided definition is detected."  :func:`answer_query` is that query
+processor in miniature:
+
+1. run the detection pipeline (redundancy removal + Theorem 3.1);
+2. if the (optimized) recursion is one-sided and the query is a
+   ``column = constant`` selection, compile and run the Figure 9 schema;
+3. otherwise fall back to the magic-sets rewriting, and finally to plain
+   semi-naive evaluation followed by selection.
+
+The returned :class:`~repro.engine.query.QueryResult` records which strategy
+ran and its instrumentation, so callers (and the benchmarks) can see the
+decision as well as the answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError, ProgramError, ReproError
+from ..datalog.parser import parse_query
+from ..datalog.rules import Program
+from ..engine.instrumentation import EvaluationStats
+from ..engine.query import QueryResult, SelectionQuery
+from ..engine.seminaive import seminaive_query
+from .pipeline import detect_one_sided
+from .schema import OneSidedSchema
+
+AUTO = "auto"
+ONE_SIDED = "one-sided"
+MAGIC = "magic"
+SEMINAIVE = "seminaive"
+NAIVE = "naive"
+
+
+def _as_query(program: Program, query: Union[SelectionQuery, Atom, str]) -> SelectionQuery:
+    if isinstance(query, str):
+        query = parse_query(query)
+    if isinstance(query, Atom):
+        query = SelectionQuery.from_atom(query)
+    if not isinstance(query, SelectionQuery):
+        raise EvaluationError(f"cannot interpret {query!r} as a selection query")
+    if query.predicate in program.predicates() and program.arity_of(query.predicate) != query.arity:
+        raise EvaluationError(
+            f"query {query} has arity {query.arity}, but {query.predicate} has arity "
+            f"{program.arity_of(query.predicate)} in the program"
+        )
+    return query
+
+
+def answer_query(
+    program: Program,
+    database: Database,
+    query: Union[SelectionQuery, Atom, str],
+    strategy: str = AUTO,
+) -> QueryResult:
+    """Answer a ``column = constant`` selection, picking a strategy as the paper advises.
+
+    ``strategy`` may be ``"auto"`` (default), ``"one-sided"``, ``"magic"``,
+    ``"seminaive"`` or ``"naive"``.  Forcing ``"one-sided"`` on a recursion the
+    detection pipeline rejects raises
+    :class:`~repro.datalog.errors.NotOneSidedError`.
+    """
+    selection = _as_query(program, query)
+
+    if strategy == NAIVE:
+        from ..engine.naive import naive_query
+
+        answers, stats = naive_query(program, database, selection.predicate, selection.bindings_dict())
+        return QueryResult(selection, answers, stats, strategy=NAIVE)
+
+    if strategy == SEMINAIVE:
+        answers, stats = seminaive_query(
+            program, database, selection.predicate, selection.bindings_dict()
+        )
+        return QueryResult(selection, answers, stats, strategy=SEMINAIVE)
+
+    if strategy == MAGIC:
+        from ..baselines.magic import magic_query
+
+        return magic_query(program, database, selection)
+
+    if strategy == ONE_SIDED:
+        outcome = detect_one_sided(program, selection.predicate)
+        schema = OneSidedSchema(outcome.optimized, selection.predicate, selection)
+        return schema.run(database)
+
+    if strategy != AUTO:
+        raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
+
+    # ------------------------------------------------------------------
+    # auto: detect, then pick
+    # ------------------------------------------------------------------
+    try:
+        outcome = detect_one_sided(program, selection.predicate)
+    except ProgramError:
+        outcome = None
+
+    if outcome is not None and outcome.one_sided:
+        try:
+            schema = OneSidedSchema(outcome.optimized, selection.predicate, selection)
+            result = schema.run(database)
+            result.strategy = f"{result.strategy} (auto)"
+            return result
+        except ReproError:
+            pass  # fall through to the general strategies
+
+    # Section 5's observation: a many-sided recursion whose unbounded sides
+    # each receive a selection constant (e.g. sg(john, june)?) can still be
+    # evaluated with the Figure 9 schema.
+    if (
+        outcome is not None
+        and not outcome.one_sided
+        and outcome.report is not None
+        and selection.bound_columns()
+    ):
+        from .classify import selection_covers_unbounded_sides
+
+        try:
+            if selection_covers_unbounded_sides(
+                outcome.optimized, selection.predicate, set(selection.bound_columns())
+            ):
+                schema = OneSidedSchema(
+                    outcome.optimized, selection.predicate, selection, require_one_sided=False
+                )
+                result = schema.run(database)
+                result.strategy = f"{result.strategy} (bounded sides, auto)"
+                return result
+        except ReproError:
+            pass
+
+    if selection.bound_columns():
+        try:
+            from ..baselines.magic import magic_query
+
+            result = magic_query(program, database, selection)
+            result.strategy = f"{result.strategy} (auto)"
+            return result
+        except ReproError:
+            pass
+
+    answers, stats = seminaive_query(
+        program, database, selection.predicate, selection.bindings_dict()
+    )
+    return QueryResult(selection, answers, stats, strategy=f"{SEMINAIVE} (auto)")

@@ -1,0 +1,174 @@
+"""The Theorem 3.2 reduction (Appendix A).
+
+Theorem 3.2 shows that no algorithm can decide, for an arbitrary (multi-rule)
+linear recursion, whether an equivalent one-sided definition exists.  The
+proof reduces from the boundedness problem for linear programs over a single
+binary IDB predicate ``p`` (undecidable by Vardi [Var88]): from such a program
+``P`` it builds a three-column program ``Q`` such that **Q is equivalent to a
+one-sided recursion iff P is bounded**.
+
+The construction (reproduced by :func:`one_sidedness_reduction`):
+
+* every rule head ``p(X1, X2)`` becomes ``q(X1, X2, X3)`` with a fresh ``X3``;
+  a recursive body atom ``p(U1, U2)`` becomes ``q(U1, U2, X3)``;
+* every nonrecursive rule additionally gets a fresh atom ``b(X3)`` in its body;
+* the *new recursive rule* ``q(X1, X2, X3) :- q(X1, X2, W), e(W, X3)`` is added,
+  with ``b`` and ``e`` predicates not occurring in ``P``.
+
+When ``P`` is bounded — i.e. equivalent to a nonrecursive program ``P′`` — the
+same construction applied to ``P′`` yields a program ``Q′`` equivalent to
+``Q`` whose only recursive rule is the new one, and Theorem 3.1 shows ``Q′``
+is one-sided (:func:`reduce_nonrecursive_program`).  Lemma A.1 (the models of
+``P`` and ``Q`` agree on the first two columns of ``q`` whenever ``b`` is
+nonempty) is checked empirically by the E7 benchmark using
+:func:`extend_database_for_reduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import ProgramError
+from ..datalog.relation import Value
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Variable, fresh_variable
+
+
+@dataclass
+class ReductionResult:
+    """The output of the Appendix A construction."""
+
+    #: the input program P (defining ``source_predicate``)
+    source: Program
+    #: the constructed program Q (defining ``target_predicate``)
+    target: Program
+    source_predicate: str
+    target_predicate: str
+    #: the fresh unary predicate added to every nonrecursive rule
+    witness_predicate: str
+    #: the fresh binary predicate of the new recursive rule
+    chain_predicate: str
+    #: the new recursive rule itself
+    new_recursive_rule: Rule
+
+
+def _fresh_predicate(base: str, taken: Set[str]) -> str:
+    if base not in taken:
+        return base
+    index = 1
+    while f"{base}{index}" in taken:
+        index += 1
+    return f"{base}{index}"
+
+
+def one_sidedness_reduction(
+    program: Program,
+    predicate: str = "p",
+    target_predicate: Optional[str] = None,
+) -> ReductionResult:
+    """Apply the Appendix A construction to a linear program over a binary IDB predicate."""
+    if program.arity_of(predicate) != 2:
+        raise ProgramError(
+            f"the Theorem 3.2 reduction is defined for a binary IDB predicate; "
+            f"{predicate} has arity {program.arity_of(predicate)}"
+        )
+    for rule in program.recursive_rules_for(predicate):
+        if not rule.is_linear_recursive():
+            raise ProgramError(f"rule {rule} is not linear; the reduction requires a linear program")
+
+    taken = set(program.predicates())
+    target = target_predicate or _fresh_predicate("q", taken)
+    taken.add(target)
+    witness = _fresh_predicate("b", taken)
+    taken.add(witness)
+    chain = _fresh_predicate("e", taken)
+    taken.add(chain)
+
+    new_rules: List[Rule] = []
+    for rule in program.rules:
+        if rule.head.predicate != predicate:
+            new_rules.append(rule)  # auxiliary IDB predicates are carried over unchanged
+            continue
+        rule_vars = rule.variables()
+        third = fresh_variable("X3", rule_vars)
+        new_head = Atom(target, rule.head.args + (third,))
+        if rule.is_recursive():
+            body: List[Atom] = []
+            for atom in rule.body:
+                if atom.predicate == predicate:
+                    body.append(Atom(target, atom.args + (third,)))
+                else:
+                    body.append(atom)
+            new_rules.append(Rule(new_head, tuple(body)))
+        else:
+            body = list(rule.body) + [Atom(witness, (third,))]
+            new_rules.append(Rule(new_head, tuple(body)))
+
+    # the new recursive rule: q(X1, X2, X3) :- q(X1, X2, W), e(W, X3).
+    x1, x2, x3, w = Variable("X1"), Variable("X2"), Variable("X3"), Variable("W")
+    new_recursive = Rule(
+        Atom(target, (x1, x2, x3)),
+        (Atom(target, (x1, x2, w)), Atom(chain, (w, x3))),
+    )
+    new_rules.append(new_recursive)
+
+    return ReductionResult(
+        source=program,
+        target=Program(tuple(new_rules)),
+        source_predicate=predicate,
+        target_predicate=target,
+        witness_predicate=witness,
+        chain_predicate=chain,
+        new_recursive_rule=new_recursive,
+    )
+
+
+def reduce_nonrecursive_program(
+    nonrecursive: Program,
+    predicate: str = "p",
+    target_predicate: Optional[str] = None,
+) -> ReductionResult:
+    """Apply the same construction to a *nonrecursive* definition P′ of ``predicate``.
+
+    When ``P`` is bounded and ``P′`` is an equivalent nonrecursive program,
+    the result ``Q′`` is equivalent to ``Q`` (Lemma A.3) and has a single
+    linear recursive rule — the new recursive rule — so Theorem 3.1 applies to
+    it directly and classifies it as one-sided.
+    """
+    for rule in nonrecursive.rules_for(predicate):
+        if rule.is_recursive():
+            raise ProgramError(f"{rule} is recursive; expected a nonrecursive definition of {predicate}")
+    return one_sidedness_reduction(nonrecursive, predicate, target_predicate)
+
+
+def extend_database_for_reduction(
+    database: Database,
+    reduction: ReductionResult,
+    witness_values: Sequence[Value] = ("w0",),
+    chain_length: int = 3,
+) -> Database:
+    """Add ``b`` and ``e`` relations so the reduced program Q can be evaluated.
+
+    ``b`` receives the given witness values (Lemma A.1 requires it nonempty);
+    ``e`` receives a chain starting at each witness value, so the new
+    recursive rule has something to recurse over.
+    """
+    extended = database.copy()
+    for value in witness_values:
+        extended.add_fact(reduction.witness_predicate, (value,))
+        previous = value
+        for step in range(chain_length):
+            next_value = f"{value}_e{step + 1}"
+            extended.add_fact(reduction.chain_predicate, (previous, next_value))
+            previous = next_value
+    extended.declare(reduction.witness_predicate, 1)
+    extended.declare(reduction.chain_predicate, 2)
+    return extended
+
+
+def project_first_two_columns(rows: Set[Tuple]) -> Set[Tuple]:
+    """Project a set of 3-column ``q`` tuples onto the first two columns (Lemma A.1)."""
+    return {(row[0], row[1]) for row in rows}

@@ -1,0 +1,488 @@
+"""The general evaluation schema for selections on one-sided recursions (Figure 9).
+
+Figure 9 of the paper is a schema::
+
+    1) init carry;   2) init seen;   3) init ans;
+    4) while carry not empty do
+    5)     carry := f(carry);
+    6)     carry := carry - seen;
+    7)     seen  := seen ∪ carry;
+    8) endwhile;
+    9) ans := g(seen);
+
+"The initialisation, the arities of carry, seen, and ans, and the operators
+f and g are determined by the given recursion and query."  This module is that
+determination: :class:`OneSidedSchema` compiles a single-linear-rule recursion
+plus a ``column = constant`` selection into a concrete instance of the schema
+and runs it.
+
+Compilation
+-----------
+Write the recursive rule as ``t(H1..Hn) :- body, t(A1..An)``.  A head position
+``i`` is **invariant** when ``Ai`` is the same variable as ``Hi`` (the value is
+passed unchanged down the recursion, so a selection constant on that column
+reaches the exit rule); every other position is **linking**.
+
+* If every selected column is invariant, the strings are evaluated from the
+  exit end toward the head (the Figure 7 / Aho–Ullman direction): ``carry``
+  holds derived ``t``-tuples with the constant columns projected away, ``f``
+  applies the recursive rule "backwards" (bind the recursive call to a carry
+  tuple, join the nonrecursive body atoms, emit the head), and ``g`` re-attaches
+  the constants.
+* Otherwise the strings are evaluated from the head end toward the exit (the
+  Figure 8 / Henschen–Naqvi direction): ``carry`` holds the argument tuple of
+  the recursive call reachable from the selection (plus the level-0 values of
+  any free non-invariant output columns), ``f`` pushes those bindings through
+  the nonrecursive body atoms, and ``g`` joins the reachable call tuples with
+  the exit rules.
+
+The ``carry − seen`` step is sound here for exactly the reason Section 4
+gives: the transition depends only on the carry tuple, so a state reached
+twice contributes nothing new (Lemma 4.1 is the special case of a unary
+carry).  The schema is *applicable* to any linear recursion — but only for
+one-sided recursions does the carry stay small and do the lookups stay
+restricted, which is what the benchmarks measure; pass
+``require_one_sided=False`` to run it on a many-sided recursion anyway (e.g.
+to reproduce the Section 4 cross-product discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError, NotOneSidedError, ProgramError
+from ..datalog.relation import Relation, Row, Value
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Variable, is_variable
+from ..engine.cq_eval import Bindings, evaluate_body
+from ..engine.instrumentation import EvaluationStats
+from ..engine.query import QueryResult, SelectionQuery
+from .classify import classify
+
+BACKWARD = "backward"  # exit-to-head, Figure 7 direction
+FORWARD = "forward"  # head-to-exit, Figure 8 direction
+
+
+@dataclass
+class SchemaPlan:
+    """The compiled form of Figure 9 for one recursion and one query."""
+
+    predicate: str
+    query: SelectionQuery
+    recursive_rule: Rule
+    exit_rules: List[Rule]
+    head_vars: List[Variable]
+    call_args: List
+    invariant_positions: Tuple[int, ...]
+    direction: str
+    #: columns carried between iterations (everything except the statically
+    #: constant columns); the carry arity of the compiled algorithm
+    carried_positions: Tuple[int, ...]
+    #: free non-invariant head positions whose level-0 value must be remembered
+    #: alongside the carry in the forward direction
+    remembered_positions: Tuple[int, ...] = ()
+
+    @property
+    def carry_arity(self) -> int:
+        """Number of columns the carry/seen relations hold (Property 2)."""
+        return len(self.carried_positions) + len(self.remembered_positions)
+
+    def describe(self) -> str:
+        """A short human-readable account of the compiled plan."""
+        invariant = ", ".join(str(i) for i in self.invariant_positions) or "none"
+        return (
+            f"{self.query}: direction={self.direction}, invariant columns=[{invariant}], "
+            f"carry arity={self.carry_arity} (original arity {self.query.arity})"
+        )
+
+
+class OneSidedSchema:
+    """Compile and run the Figure 9 schema for one recursion and one selection."""
+
+    def __init__(
+        self,
+        program: Program,
+        predicate: str,
+        query: SelectionQuery,
+        require_one_sided: bool = True,
+    ) -> None:
+        if query.predicate != predicate:
+            raise EvaluationError(
+                f"query {query} does not match the compiled predicate {predicate}"
+            )
+        self.program = program
+        self.predicate = predicate
+        self.query = query
+
+        if require_one_sided:
+            report = classify(program, predicate)
+            if not report.is_one_sided and not report.is_bounded_looking:
+                raise NotOneSidedError(
+                    f"{predicate} is not one-sided ({report.reason()}); "
+                    "pass require_one_sided=False to run the schema anyway"
+                )
+
+        rule = program.linear_recursive_rule(predicate)
+        exit_rules = program.exit_rules_for(predicate)
+        if not exit_rules:
+            raise ProgramError(f"{predicate} has no exit rule")
+        if query.arity != rule.head.arity:
+            raise EvaluationError(
+                f"query {query} has arity {query.arity}, but {predicate} has arity {rule.head.arity}"
+            )
+        head_vars = list(rule.head.args)
+        if not all(is_variable(arg) for arg in head_vars):
+            raise ProgramError(
+                f"the head of {rule} must contain only variables (paper assumption)"
+            )
+        call_args = list(rule.recursive_atom().args)
+
+        invariant_positions = tuple(
+            i for i in range(len(head_vars)) if call_args[i] == head_vars[i]
+        )
+        bound = set(query.bound_columns())
+        if bound and bound <= set(invariant_positions):
+            direction = BACKWARD
+        elif not bound:
+            direction = BACKWARD  # no selection: plain reduced semi-naive on t
+        else:
+            direction = FORWARD
+
+        if direction == BACKWARD:
+            carried = tuple(i for i in range(len(head_vars)) if i not in bound)
+            remembered: Tuple[int, ...] = ()
+        else:
+            nonrecursive_body_vars = set()
+            for atom in rule.nonrecursive_atoms():
+                nonrecursive_body_vars |= atom.variable_set()
+
+            def carried_forward(position: int) -> bool:
+                if position in bound and position in invariant_positions:
+                    return False  # statically equal to the selection constant
+                if position in invariant_positions and position not in bound:
+                    # the value is only determined at the exit; carry it only when the
+                    # nonrecursive body constrains it (e.g. the permission predicate of
+                    # Example 4.1), otherwise drop the column — this is the arity
+                    # reduction of the canonical case.
+                    return head_vars[position] in nonrecursive_body_vars
+                return True
+
+            carried = tuple(i for i in range(len(head_vars)) if carried_forward(i))
+            remembered = tuple(
+                i
+                for i in range(len(head_vars))
+                if i not in bound and i not in invariant_positions
+            )
+
+        if direction == FORWARD:
+            nonrecursive_vars = set()
+            for atom in rule.nonrecursive_atoms():
+                nonrecursive_vars |= atom.variable_set()
+            for position in remembered:
+                head_term = head_vars[position]
+                if is_variable(head_term) and head_term not in nonrecursive_vars:
+                    raise EvaluationError(
+                        f"output column {position} of {predicate} is not connected to the "
+                        "nonrecursive body of the recursive rule; the Figure 9 schema cannot "
+                        "carry its value from the selection end of the strings"
+                    )
+
+        self.plan = SchemaPlan(
+            predicate=predicate,
+            query=query,
+            recursive_rule=rule,
+            exit_rules=list(exit_rules),
+            head_vars=head_vars,
+            call_args=call_args,
+            invariant_positions=invariant_positions,
+            direction=direction,
+            carried_positions=carried,
+            remembered_positions=remembered,
+        )
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def run(self, database: Database, stats: Optional[EvaluationStats] = None) -> QueryResult:
+        """Evaluate the query over ``database`` and return the answers + stats."""
+        stats = stats if stats is not None else EvaluationStats()
+        stats.start_timer()
+        relations = {relation.name: relation for relation in database.relations()}
+        if self.plan.direction == BACKWARD:
+            answers = self._run_backward(relations, stats)
+        else:
+            answers = self._run_forward(relations, stats)
+        stats.extra["carry_arity"] = self.plan.carry_arity
+        stats.stop_timer()
+        return QueryResult(self.query, answers, stats, strategy=f"one-sided-{self.plan.direction}")
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _bind_consistently(self, pairs: Sequence[Tuple[object, Optional[Value]]]) -> Optional[Bindings]:
+        """Build a binding from (term, value) pairs, failing on conflicts.
+
+        ``None`` values leave variables unbound; constant terms must match
+        their value.
+        """
+        binding: Bindings = {}
+        for term, value in pairs:
+            if value is None:
+                continue
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+                continue
+            assert is_variable(term)
+            existing = binding.get(term)
+            if existing is None:
+                binding[term] = value
+            elif existing != value:
+                return None
+        return binding
+
+    def _head_row(self, binding: Bindings, defaults: Dict[int, Value]) -> Optional[Row]:
+        """Assemble a full answer row from a binding over the head variables."""
+        row: List[Value] = []
+        for position, term in enumerate(self.plan.head_vars):
+            if isinstance(term, Constant):
+                row.append(term.value)
+                continue
+            value = binding.get(term)
+            if value is None:
+                value = defaults.get(position)
+            if value is None:
+                return None
+            row.append(value)
+        return tuple(row)
+
+    def _nonrecursive_body(self) -> List[Atom]:
+        return self.plan.recursive_rule.nonrecursive_atoms()
+
+    # ------------------------------------------------------------------
+    # backward direction (Figure 7 generalization)
+    # ------------------------------------------------------------------
+    def _exit_tuples(
+        self,
+        relations: Dict[str, Relation],
+        bindings: Bindings,
+        stats: EvaluationStats,
+    ) -> Set[Row]:
+        """Full t-tuples derivable by one application of an exit rule under ``bindings``."""
+        result: Set[Row] = set()
+        # Only *invariant* selection constants may be pushed into an exit-rule
+        # instance unconditionally: they hold at every recursion depth.  A
+        # constant on a linking column applies to the outermost instance only
+        # and reaches this method through ``bindings`` when appropriate.
+        constants = {
+            position: value
+            for position, value in self.query.bindings
+            if position in self.plan.invariant_positions
+        }
+        for exit_rule in self.plan.exit_rules:
+            exit_binding: Bindings = {}
+            consistent = True
+            for position, term in enumerate(exit_rule.head.args):
+                wanted = bindings.get(self.plan.head_vars[position]) if is_variable(self.plan.head_vars[position]) else None
+                if wanted is None:
+                    wanted = constants.get(position)
+                if wanted is None:
+                    continue
+                if isinstance(term, Constant):
+                    if term.value != wanted:
+                        consistent = False
+                        break
+                    continue
+                existing = exit_binding.get(term)
+                if existing is not None and existing != wanted:
+                    consistent = False
+                    break
+                exit_binding[term] = wanted
+            if not consistent:
+                continue
+            for assignment in evaluate_body(exit_rule.body, relations, exit_binding, stats):
+                row: List[Value] = []
+                grounded = True
+                for position, term in enumerate(exit_rule.head.args):
+                    if isinstance(term, Constant):
+                        row.append(term.value)
+                        continue
+                    value = assignment.get(term)
+                    if value is None:
+                        grounded = False
+                        break
+                    row.append(value)
+                if grounded:
+                    result.add(tuple(row))
+        return result
+
+    def _run_backward(self, relations: Dict[str, Relation], stats: EvaluationStats) -> Set[Row]:
+        plan = self.plan
+        constants = self.query.bindings_dict()
+
+        def carried(row: Row) -> Row:
+            return tuple(row[i] for i in plan.carried_positions)
+
+        def expand(carry_row: Row) -> Dict[int, Value]:
+            values = dict(constants)
+            for offset, position in enumerate(plan.carried_positions):
+                values[position] = carry_row[offset]
+            return values
+
+        # 1-3) init carry, seen, ans: tuples derivable by the exit rules under
+        # the selection, projected onto the carried columns.
+        initial = self._exit_tuples(relations, {}, stats)
+        carry: Set[Row] = {carried(row) for row in initial}
+        seen: Set[Row] = set(carry)
+        stats.record_produced(len(carry))
+        stats.record_state(len(seen), len(seen) * max(1, plan.carry_arity))
+
+        body = self._nonrecursive_body()
+        # 4-8) while carry not empty: apply the recursive rule backwards.
+        while carry:
+            stats.record_iteration()
+            new_carry: Set[Row] = set()
+            for carry_row in carry:
+                call_values = expand(carry_row)
+                binding = self._bind_consistently(
+                    [
+                        (plan.call_args[position], call_values.get(position))
+                        for position in range(len(plan.call_args))
+                    ]
+                )
+                if binding is None:
+                    continue
+                for assignment in evaluate_body(body, relations, binding, stats):
+                    head_row = self._head_row(assignment, defaults=constants)
+                    if head_row is None:
+                        raise EvaluationError(
+                            "the recursive rule does not determine every head column "
+                            "from the recursive call and the nonrecursive body; the "
+                            "Figure 9 schema cannot evaluate this query"
+                        )
+                    if self.query.matches(head_row):
+                        new_carry.add(carried(head_row))
+            carry = new_carry - seen
+            seen |= carry
+            stats.record_produced(len(carry))
+            stats.record_state(len(seen) + len(carry), (len(seen) + len(carry)) * max(1, plan.carry_arity))
+
+        # 9) ans := g(seen): re-attach the selection constants.
+        answers: Set[Row] = set()
+        for carry_row in seen:
+            values = expand(carry_row)
+            answers.add(tuple(values[position] for position in range(self.query.arity)))
+        return answers
+
+    # ------------------------------------------------------------------
+    # forward direction (Figure 8 generalization)
+    # ------------------------------------------------------------------
+    def _run_forward(self, relations: Dict[str, Relation], stats: EvaluationStats) -> Set[Row]:
+        plan = self.plan
+        constants = self.query.bindings_dict()
+        body = self._nonrecursive_body()
+
+        def call_state(binding: Bindings) -> Row:
+            values: List[Optional[Value]] = []
+            for position in plan.carried_positions:
+                term = plan.call_args[position]
+                if isinstance(term, Constant):
+                    values.append(term.value)
+                else:
+                    values.append(binding.get(term))
+            return tuple(values)
+
+        def remembered_state(binding: Bindings) -> Row:
+            return tuple(binding.get(plan.head_vars[position]) for position in plan.remembered_positions)
+
+        # 1-3) init: push the selection through the nonrecursive body once to
+        # obtain the recursive-call bindings reachable in one step, and answer
+        # the depth-0 case directly from the exit rules.
+        initial_binding = self._bind_consistently(
+            [(plan.head_vars[position], value) for position, value in constants.items()]
+        )
+        if initial_binding is None:
+            return set()
+
+        answers: Set[Row] = set()
+        for row in self._exit_tuples(relations, initial_binding, stats):
+            if self.query.matches(row):
+                answers.add(row)
+
+        carry: Set[Tuple[Row, Row]] = set()
+        for assignment in evaluate_body(body, relations, initial_binding, stats):
+            carry.add((remembered_state(assignment), call_state(assignment)))
+        seen: Set[Tuple[Row, Row]] = set(carry)
+        stats.record_produced(len(carry))
+        stats.record_state(len(seen), len(seen) * max(1, plan.carry_arity))
+
+        # 4-8) while carry not empty: push the call bindings one level deeper.
+        while carry:
+            stats.record_iteration()
+            new_carry: Set[Tuple[Row, Row]] = set()
+            for remembered, call_values in carry:
+                binding = self._bind_consistently(
+                    [
+                        (plan.head_vars[position], call_values[offset])
+                        for offset, position in enumerate(plan.carried_positions)
+                    ]
+                    + [(plan.head_vars[position], value) for position, value in constants.items()
+                       if position in plan.invariant_positions]
+                )
+                if binding is None:
+                    continue
+                for assignment in evaluate_body(body, relations, binding, stats):
+                    new_carry.add((remembered, call_state(assignment)))
+            carry = new_carry - seen
+            seen |= carry
+            stats.record_produced(len(carry))
+            stats.record_state(len(seen) + len(carry), (len(seen) + len(carry)) * max(1, plan.carry_arity))
+
+        # 9) ans := g(seen): join the reachable call tuples with the exit rules.
+        for remembered, call_values in seen:
+            call_binding = self._bind_consistently(
+                [
+                    (plan.head_vars[position], call_values[offset])
+                    for offset, position in enumerate(plan.carried_positions)
+                ]
+                + [(plan.head_vars[position], value) for position, value in constants.items()
+                   if position in plan.invariant_positions]
+            )
+            if call_binding is None:
+                continue
+            for row in self._exit_tuples(relations, call_binding, stats):
+                defaults: Dict[int, Value] = dict(constants)
+                for offset, position in enumerate(plan.remembered_positions):
+                    if remembered[offset] is not None:
+                        defaults[position] = remembered[offset]
+                final: List[Value] = []
+                valid = True
+                for position in range(self.query.arity):
+                    if position in constants:
+                        final.append(constants[position])
+                    elif position in plan.remembered_positions:
+                        value = defaults.get(position)
+                        if value is None:
+                            valid = False
+                            break
+                        final.append(value)
+                    else:
+                        final.append(row[position])
+                if valid:
+                    answers.add(tuple(final))
+        return answers
+
+
+def one_sided_query(
+    program: Program,
+    database: Database,
+    query: SelectionQuery,
+    require_one_sided: bool = True,
+    stats: Optional[EvaluationStats] = None,
+) -> QueryResult:
+    """Convenience wrapper: compile the Figure 9 schema for ``query`` and run it."""
+    schema = OneSidedSchema(program, query.predicate, query, require_one_sided=require_one_sided)
+    return schema.run(database, stats)

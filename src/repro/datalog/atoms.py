@@ -1,0 +1,115 @@
+"""Atoms (predicate instances).
+
+An atom is a predicate name applied to a tuple of terms, e.g. ``a(X, Z)`` or
+``t(Z, Y)``.  The paper calls atoms appearing in rule bodies and expansion
+strings *predicate instances*; we use the two names interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .terms import Constant, Term, Variable, is_variable, make_term
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A predicate instance ``predicate(arg_1, ..., arg_n)``.
+
+    Atoms are immutable; operations that "modify" an atom (substitution,
+    renaming) return new atoms.
+    """
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    @staticmethod
+    def of(predicate: str, *args: object) -> "Atom":
+        """Build an atom, coercing plain Python values through :func:`make_term`.
+
+        ``Atom.of("a", "X", "Z")`` builds ``a(X, Z)`` with ``X`` and ``Z`` as
+        variables; ``Atom.of("b", 1, "paris")`` builds a ground atom.
+        """
+        return Atom(predicate, tuple(make_term(a) for a in args))
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> List[Variable]:
+        """The variables of the atom, in argument order, with duplicates."""
+        return [arg for arg in self.args if is_variable(arg)]
+
+    def variable_set(self) -> "set[Variable]":
+        """The set of distinct variables appearing in the atom."""
+        return {arg for arg in self.args if is_variable(arg)}
+
+    def constants(self) -> List[Constant]:
+        """The constants of the atom, in argument order."""
+        return [arg for arg in self.args if isinstance(arg, Constant)]
+
+    def is_ground(self) -> bool:
+        """``True`` when the atom contains no variables (i.e. it is a fact)."""
+        return not any(is_variable(arg) for arg in self.args)
+
+    def positions_of(self, variable: Variable) -> List[int]:
+        """0-based argument positions at which ``variable`` occurs."""
+        return [i for i, arg in enumerate(self.args) if arg == variable]
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Dict[Variable, Term]) -> "Atom":
+        """Apply a substitution (variable -> term) to every argument."""
+        new_args = tuple(
+            mapping.get(arg, arg) if is_variable(arg) else arg for arg in self.args
+        )
+        return Atom(self.predicate, new_args)
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Atom":
+        """Apply a variable renaming.  Alias of :meth:`substitute` with a narrower type."""
+        return self.substitute(dict(mapping))
+
+    def with_subscript(self, subscript: int) -> "Atom":
+        """Give every variable of the atom the given subscript (Figure 1 convention)."""
+        new_args = tuple(
+            arg.with_subscript(subscript) if is_variable(arg) else arg for arg in self.args
+        )
+        return Atom(self.predicate, new_args)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Atom({self!s})"
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> "set[Variable]":
+    """Union of the variable sets of a collection of atoms."""
+    result: "set[Variable]" = set()
+    for atom in atoms:
+        result |= atom.variable_set()
+    return result
+
+
+def share_variable(first: Atom, second: Atom) -> bool:
+    """``True`` when the two atoms have at least one variable in common.
+
+    This is the basic "connected" relation of Definition 3.1.
+    """
+    return bool(first.variable_set() & second.variable_set())
+
+
+def fact(predicate: str, values: Sequence[object]) -> Atom:
+    """Build a ground atom from raw Python values (all coerced to constants)."""
+    return Atom(predicate, tuple(Constant(v) if not isinstance(v, Constant) else v for v in values))

@@ -1,0 +1,168 @@
+"""The extensional database (EDB).
+
+A :class:`Database` maps predicate names to :class:`~repro.datalog.relation.Relation`
+objects.  It is the "extent" that defines EDB predicates in Section 2 of the
+paper.  Evaluation strategies receive a database plus a program and produce
+relations for the IDB predicates; they never mutate the input database unless
+explicitly asked to (``materialize``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .atoms import Atom
+from .errors import SchemaError
+from .relation import Relation, Row, Value
+from .terms import Constant
+
+
+class Database:
+    """A mutable collection of named relations."""
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations or ():
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dict(data: Mapping[str, Iterable[Sequence[Value]]]) -> "Database":
+        """Build a database from ``{"pred": [tuple, ...], ...}``.
+
+        Arities are inferred from the first tuple of each predicate; empty
+        iterables are not allowed here (use :meth:`declare` for empty
+        relations because their arity cannot be inferred).
+        """
+        database = Database()
+        for name, rows in data.items():
+            rows = list(rows)
+            if not rows:
+                raise SchemaError(
+                    f"cannot infer arity of empty relation {name}; use Database.declare"
+                )
+            database.add_relation(Relation(name, len(tuple(rows[0])), rows))
+        return database
+
+    @staticmethod
+    def from_facts(facts: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms."""
+        database = Database()
+        for atom in facts:
+            database.add_fact_atom(atom)
+        return database
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register a relation, replacing any previous relation of the same name."""
+        self._relations[relation.name] = relation
+
+    def declare(self, name: str, arity: int) -> Relation:
+        """Ensure a (possibly empty) relation of the given name and arity exists."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise SchemaError(
+                    f"relation {name} already declared with arity {existing.arity}, not {arity}"
+                )
+            return existing
+        relation = Relation(name, arity)
+        self._relations[name] = relation
+        return relation
+
+    def add_fact(self, name: str, row: Sequence[Value]) -> bool:
+        """Insert one tuple, creating the relation on first use."""
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = Relation(name, len(tuple(row)))
+            self._relations[name] = relation
+        return relation.add(row)
+
+    def add_fact_atom(self, atom: Atom) -> bool:
+        """Insert a ground atom as a fact."""
+        if not atom.is_ground():
+            raise SchemaError(f"fact {atom} is not ground")
+        values = tuple(arg.value for arg in atom.args if isinstance(arg, Constant))
+        return self.add_fact(atom.predicate, values)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        """The relation for ``name``; raises :class:`SchemaError` when unknown."""
+        relation = self._relations.get(name)
+        if relation is None:
+            raise SchemaError(f"relation {name} is not present in the database")
+        return relation
+
+    def relation_or_empty(self, name: str, arity: int) -> Relation:
+        """The relation for ``name`` or a fresh empty relation of the given arity."""
+        relation = self._relations.get(name)
+        if relation is not None:
+            return relation
+        return Relation(name, arity)
+
+    def has_relation(self, name: str) -> bool:
+        """``True`` when the database contains a relation called ``name``."""
+        return name in self._relations
+
+    def names(self) -> Set[str]:
+        """All relation names."""
+        return set(self._relations)
+
+    def relations(self) -> List[Relation]:
+        """All relations (no particular order)."""
+        return list(self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # ------------------------------------------------------------------
+    # whole-database operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Database":
+        """Deep copy: relations are copied, tuples are shared (they are immutable)."""
+        return Database(relation.copy() for relation in self._relations.values())
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def active_domain(self) -> Set[Value]:
+        """Every value appearing anywhere in the database."""
+        domain: Set[Value] = set()
+        for relation in self._relations.values():
+            for row in relation:
+                domain.update(row)
+        return domain
+
+    def facts(self) -> List[Atom]:
+        """All tuples re-expressed as ground atoms (useful for tests and printing)."""
+        result: List[Atom] = []
+        for relation in self._relations.values():
+            for row in relation:
+                result.append(Atom(relation.name, tuple(Constant(v) for v in row)))
+        return result
+
+    def merge(self, other: "Database") -> "Database":
+        """A new database containing the union of both databases' tuples."""
+        merged = self.copy()
+        for relation in other.relations():
+            target = merged._relations.get(relation.name)
+            if target is None:
+                merged.add_relation(relation.copy())
+            else:
+                if target.arity != relation.arity:
+                    raise SchemaError(
+                        f"cannot merge {relation.name}: arities {target.arity} and {relation.arity} differ"
+                    )
+                target.add_all(relation.rows())
+        return merged
+
+    def __str__(self) -> str:
+        parts = ", ".join(sorted(str(r) for r in self._relations.values()))
+        return f"Database({parts})"

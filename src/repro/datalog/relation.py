@@ -1,0 +1,154 @@
+"""Extensional relations.
+
+A :class:`Relation` is a named set of fixed-arity tuples of plain Python
+values (strings and numbers).  Relations are the storage layer under the
+evaluation engine; the symbolic layer (atoms, rules, expansions) only touches
+them through the engine.
+
+Design notes
+------------
+* Tuples are stored in a plain ``set`` for O(1) membership and duplicate
+  elimination (Datalog is set semantics).
+* Per-column-set hash indexes are built lazily and invalidated on insert.
+  A lookup with ``k`` bound columns therefore touches only the matching
+  tuples, which is what makes the paper's Property 3 ("never do an
+  unrestricted lookup on a nonrecursive relation") observable in the
+  instrumentation counters rather than hidden inside a full scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .errors import SchemaError
+
+Value = object
+Row = Tuple[Value, ...]
+
+
+class Relation:
+    """A named, fixed-arity set of tuples with lazy per-column indexes."""
+
+    def __init__(self, name: str, arity: int, rows: Optional[Iterable[Sequence[Value]]] = None) -> None:
+        if arity < 0:
+            raise SchemaError(f"relation {name} cannot have negative arity")
+        self.name = name
+        self.arity = arity
+        self._rows: Set[Row] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        if rows is not None:
+            for row in rows:
+                self.add(row)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Sequence[Value]) -> bool:
+        """Insert a tuple; returns ``True`` when the tuple was new."""
+        tupled = tuple(row)
+        if len(tupled) != self.arity:
+            raise SchemaError(
+                f"relation {self.name} has arity {self.arity}, got tuple of length {len(tupled)}"
+            )
+        if tupled in self._rows:
+            return False
+        self._rows.add(tupled)
+        for columns, index in self._indexes.items():
+            key = tuple(tupled[c] for c in columns)
+            index.setdefault(key, []).append(tupled)
+        return True
+
+    def add_all(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Insert many tuples; returns how many were new."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def discard(self, row: Sequence[Value]) -> None:
+        """Remove a tuple if present (indexes are rebuilt lazily)."""
+        tupled = tuple(row)
+        if tupled in self._rows:
+            self._rows.discard(tupled)
+            self._indexes.clear()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def rows(self) -> Set[Row]:
+        """The underlying tuple set (do not mutate)."""
+        return self._rows
+
+    def is_empty(self) -> bool:
+        """``True`` when the relation has no tuples."""
+        return not self._rows
+
+    def copy(self) -> "Relation":
+        """An independent copy with the same tuples (indexes are not copied)."""
+        return Relation(self.name, self.arity, self._rows)
+
+    def column_values(self, column: int) -> Set[Value]:
+        """The distinct values appearing in ``column``."""
+        return {row[column] for row in self._rows}
+
+    # ------------------------------------------------------------------
+    # indexed lookup
+    # ------------------------------------------------------------------
+    def _index_for(self, columns: Tuple[int, ...]) -> Dict[Row, List[Row]]:
+        index = self._indexes.get(columns)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                key = tuple(row[c] for c in columns)
+                index.setdefault(key, []).append(row)
+            self._indexes[columns] = index
+        return index
+
+    def lookup(self, bindings: Mapping[int, Value]) -> List[Row]:
+        """Tuples matching the given column bindings.
+
+        ``bindings`` maps 0-based column numbers to required values.  An empty
+        mapping returns every tuple (an *unrestricted lookup* in the paper's
+        terminology); the instrumentation layer counts both cases.
+        """
+        if not bindings:
+            return list(self._rows)
+        columns = tuple(sorted(bindings))
+        for column in columns:
+            if column < 0 or column >= self.arity:
+                raise SchemaError(
+                    f"relation {self.name} has arity {self.arity}; column {column} out of range"
+                )
+        key = tuple(bindings[c] for c in columns)
+        return list(self._index_for(columns).get(key, ()))
+
+    def project(self, columns: Sequence[int]) -> Set[Row]:
+        """Projection onto the given columns (duplicates eliminated)."""
+        return {tuple(row[c] for c in columns) for row in self._rows}
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}[{len(self._rows)} tuples]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self!s})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.name == other.name and self.arity == other.arity and self._rows == other._rows
+
+    def __hash__(self) -> int:  # relations are mutable; identity hash is intentional
+        return id(self)

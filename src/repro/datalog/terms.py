@@ -1,0 +1,134 @@
+"""Terms of the function-free Horn-clause language used throughout the paper.
+
+The paper (Section 2) works with *function-free pure Horn clause recursions*:
+a term is either a variable or a constant.  Variables are written with an
+initial upper-case letter (Prolog convention, the same convention the paper
+uses: ``X``, ``Y``, ``W1`` ...), constants with a lower-case initial letter,
+a number, or a quoted string.
+
+Two small conveniences matter for the rest of the library:
+
+* variables carry an optional integer *subscript* so that the expansion
+  procedure of Figure 1 ("give all variables in rules subscript 0; ...
+  increment subscripts") can be implemented exactly as in the paper, and
+* both term kinds are immutable and hashable so they can be used freely as
+  dictionary keys inside substitutions, relations and graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logical variable.
+
+    Parameters
+    ----------
+    name:
+        The base name, e.g. ``"X"`` or ``"W"``.
+    subscript:
+        Optional iteration subscript used by the expansion procedure
+        (Figure 1 of the paper).  ``Variable("W", 2)`` renders as ``W_2``.
+        ``None`` means "no subscript", which is how variables appear in
+        source rules.
+    """
+
+    name: str
+    subscript: Union[int, None] = None
+
+    def _sort_key(self) -> tuple:
+        return (self.name, self.subscript is not None, self.subscript or 0)
+
+    def __lt__(self, other: "Variable") -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def with_subscript(self, subscript: int) -> "Variable":
+        """Return a copy of this variable carrying ``subscript``."""
+        return Variable(self.name, subscript)
+
+    def base(self) -> "Variable":
+        """Return the subscript-free version of this variable."""
+        return Variable(self.name, None)
+
+    def __str__(self) -> str:
+        if self.subscript is None:
+            return self.name
+        return f"{self.name}_{self.subscript}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self!s})"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant (database value).
+
+    The value is stored as a string or a number; equality is value equality.
+    """
+
+    value: Union[str, int, float]
+
+    def __lt__(self, other: "Constant") -> bool:
+        if not isinstance(other, Constant):
+            return NotImplemented
+        return (type(self.value).__name__, str(self.value)) < (
+            type(other.value).__name__,
+            str(other.value),
+        )
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value: object) -> Term:
+    """Coerce a Python value into a :class:`Term`.
+
+    Strings starting with an upper-case letter or an underscore become
+    variables (the Prolog convention the paper uses); everything else becomes
+    a constant.  Existing terms are returned unchanged.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    if isinstance(value, str):
+        return Constant(value)
+    if isinstance(value, (int, float)):
+        return Constant(value)
+    raise TypeError(f"cannot interpret {value!r} as a Datalog term")
+
+
+def fresh_variable(name: str, taken: "set[Variable]") -> Variable:
+    """Return a variable named like ``name`` that does not collide with ``taken``.
+
+    Used by program transformations (magic sets, the Appendix A reduction)
+    that need to introduce new variables into existing rules.
+    """
+    candidate = Variable(name)
+    if candidate not in taken:
+        return candidate
+    index = 1
+    while Variable(f"{name}{index}") in taken:
+        index += 1
+    return Variable(f"{name}{index}")

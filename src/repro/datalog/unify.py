@@ -1,0 +1,133 @@
+"""Substitutions, unification and matching.
+
+The paper's expansion procedure applies a rule to a predicate instance by
+computing *the most general unifier* of the rule head and the instance and
+applying it to the rule body (Section 2).  Because rule heads contain no
+repeated variables and no constants (a standing assumption of the paper,
+footnote 1 of Appendix A), that unifier is always a *matching* — but the
+library implements full function-free unification anyway so that the
+generalized expansion of Appendix A and arbitrary user programs are handled
+correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from .atoms import Atom
+from .terms import Term, Variable, is_variable
+
+Substitution = Dict[Variable, Term]
+"""A substitution maps variables to terms.  Applying it never recurses:
+terms are variables or constants, so a single pass suffices."""
+
+
+def apply_to_term(substitution: Substitution, term: Term) -> Term:
+    """Apply ``substitution`` to a single term."""
+    if is_variable(term):
+        return substitution.get(term, term)
+    return term
+
+
+def apply_to_atom(substitution: Substitution, atom: Atom) -> Atom:
+    """Apply ``substitution`` to every argument of ``atom``."""
+    return atom.substitute(substitution)
+
+
+def apply_to_atoms(substitution: Substitution, atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+    """Apply ``substitution`` to a sequence of atoms, preserving order."""
+    return tuple(atom.substitute(substitution) for atom in atoms)
+
+
+def compose(first: Substitution, second: Substitution) -> Substitution:
+    """Return the substitution equivalent to applying ``first`` then ``second``.
+
+    ``apply(compose(f, s), t) == apply(s, apply(f, t))`` for every term ``t``.
+    """
+    result: Substitution = {var: apply_to_term(second, term) for var, term in first.items()}
+    for var, term in second.items():
+        result.setdefault(var, term)
+    return result
+
+
+def _bind(substitution: Substitution, variable: Variable, term: Term) -> Substitution:
+    """Add ``variable -> term`` to ``substitution``, normalising existing bindings."""
+    new_sub = {var: (term if existing == variable else existing) for var, existing in substitution.items()}
+    new_sub[variable] = term
+    return new_sub
+
+
+def unify_terms(left: Term, right: Term, substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Unify two terms under an existing substitution.
+
+    Returns the extended substitution, or ``None`` when unification fails.
+    """
+    substitution = dict(substitution or {})
+    left = apply_to_term(substitution, left)
+    right = apply_to_term(substitution, right)
+    if left == right:
+        return substitution
+    if is_variable(left):
+        return _bind(substitution, left, right)
+    if is_variable(right):
+        return _bind(substitution, right, left)
+    return None  # two distinct constants
+
+
+def unify_atoms(left: Atom, right: Atom, substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Most general unifier of two atoms, or ``None`` when they do not unify."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    substitution = dict(substitution or {})
+    for left_arg, right_arg in zip(left.args, right.args):
+        maybe = unify_terms(left_arg, right_arg, substitution)
+        if maybe is None:
+            return None
+        substitution = maybe
+    return substitution
+
+
+def match_atom(pattern: Atom, target: Atom, substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """One-way matching: find a substitution on ``pattern``'s variables only.
+
+    ``match_atom(p, t)`` succeeds when ``p`` can be instantiated to ``t``
+    without binding any variable of ``t``.  This is the operation used by
+    containment mappings (Definition 2.1) and by fact lookup.
+    """
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    substitution = dict(substitution or {})
+    for pattern_arg, target_arg in zip(pattern.args, target.args):
+        if is_variable(pattern_arg):
+            bound = substitution.get(pattern_arg)
+            if bound is None:
+                substitution[pattern_arg] = target_arg
+            elif bound != target_arg:
+                return None
+        elif pattern_arg != target_arg:
+            return None
+    return substitution
+
+
+def rename_apart(atoms: Iterable[Atom], taken: "set[Variable]", suffix: str = "r") -> Tuple[Tuple[Atom, ...], Substitution]:
+    """Rename the variables of ``atoms`` so they avoid the ``taken`` set.
+
+    Returns the renamed atoms and the renaming used.  Transformations such as
+    magic sets and the Appendix A reduction use this to keep rule variables
+    disjoint when splicing bodies together.
+    """
+    renaming: Substitution = {}
+    used = set(taken)
+    for atom in atoms:
+        for variable in atom.variable_set():
+            if variable in renaming or variable not in used:
+                used.add(variable)
+                continue
+            index = 1
+            while Variable(f"{variable.name}_{suffix}{index}") in used:
+                index += 1
+            fresh = Variable(f"{variable.name}_{suffix}{index}")
+            renaming[variable] = fresh
+            used.add(fresh)
+    renamed = apply_to_atoms(renaming, atoms)
+    return renamed, renaming

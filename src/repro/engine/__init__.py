@@ -1,0 +1,39 @@
+"""Evaluation engine: instrumented relational algebra, rule evaluation, fixpoints."""
+
+from .algebra import difference, join, project, scan, select, semijoin, union
+from .cq_eval import (
+    as_relation,
+    evaluate_body,
+    evaluate_body_project,
+    evaluate_rule,
+    plan_order,
+)
+from .instrumentation import EvaluationStats
+from .naive import naive_evaluate, naive_query
+from .query import QueryResult, SelectionQuery
+from .seminaive import seminaive_evaluate, seminaive_query
+from .strata import evaluation_strata, strongly_connected_components
+
+__all__ = [
+    "EvaluationStats",
+    "QueryResult",
+    "SelectionQuery",
+    "as_relation",
+    "difference",
+    "evaluate_body",
+    "evaluate_body_project",
+    "evaluate_rule",
+    "evaluation_strata",
+    "join",
+    "naive_evaluate",
+    "naive_query",
+    "plan_order",
+    "project",
+    "scan",
+    "select",
+    "semijoin",
+    "seminaive_evaluate",
+    "seminaive_query",
+    "strongly_connected_components",
+    "union",
+]

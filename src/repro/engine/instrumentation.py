@@ -1,0 +1,126 @@
+"""Evaluation instrumentation.
+
+The point of the paper's Section 4 is not only *what* the one-sided
+algorithms compute but *how* they compute it:
+
+* **Property 1** — simple termination conditions (``while carry not empty``),
+* **Property 2** — minimal state (only ``seen`` is remembered),
+* **Property 3** — no unrestricted lookups on nonrecursive relations.
+
+:class:`EvaluationStats` gives every evaluation strategy in the library a
+common vocabulary of counters so the benchmark harness can report those
+properties side by side: tuples examined (retrieved from storage), tuples
+produced, join probes, unrestricted lookups, fixpoint iterations, and the
+peak size of the state the algorithm keeps between iterations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class EvaluationStats:
+    """Counters accumulated during one evaluation run."""
+
+    #: tuples retrieved from stored relations (after index restriction)
+    tuples_examined: int = 0
+    #: tuples inserted into derived relations / carry / seen / answers
+    tuples_produced: int = 0
+    #: number of index probes / scans issued against stored relations
+    lookups: int = 0
+    #: lookups issued with no bound column at all ("unrestricted", Property 3)
+    unrestricted_lookups: int = 0
+    #: fixpoint / while-loop iterations (Property 1)
+    iterations: int = 0
+    #: peak number of tuples kept as inter-iteration state (Property 2)
+    peak_state_tuples: int = 0
+    #: sum over state relations of (arity of the relation), at the peak
+    peak_state_columns: int = 0
+    #: wall-clock seconds, when measured through :meth:`timed`
+    elapsed_seconds: float = 0.0
+    #: free-form per-strategy extras (e.g. "magic_rules", "carry_arity")
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    _started_at: Optional[float] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # recording helpers
+    # ------------------------------------------------------------------
+    def record_lookup(self, examined: int, restricted: bool) -> None:
+        """Record one probe against a stored relation."""
+        self.lookups += 1
+        if not restricted:
+            self.unrestricted_lookups += 1
+        self.tuples_examined += examined
+
+    def record_produced(self, count: int = 1) -> None:
+        """Record tuples added to a derived relation."""
+        self.tuples_produced += count
+
+    def record_iteration(self) -> None:
+        """Record one pass of the outer fixpoint / while loop."""
+        self.iterations += 1
+
+    def record_state(self, tuples: int, columns: int = 0) -> None:
+        """Record the current size of the inter-iteration state.
+
+        Call once per iteration with the total number of state tuples and the
+        total number of state columns; peaks are tracked automatically.
+        """
+        self.peak_state_tuples = max(self.peak_state_tuples, tuples)
+        self.peak_state_columns = max(self.peak_state_columns, columns)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def start_timer(self) -> None:
+        """Start (or restart) the wall-clock timer."""
+        self._started_at = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        """Stop the timer and accumulate elapsed time."""
+        if self._started_at is not None:
+            self.elapsed_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    # ------------------------------------------------------------------
+    # combination / presentation
+    # ------------------------------------------------------------------
+    def merge(self, other: "EvaluationStats") -> "EvaluationStats":
+        """Accumulate another stats object into this one (returns ``self``)."""
+        self.tuples_examined += other.tuples_examined
+        self.tuples_produced += other.tuples_produced
+        self.lookups += other.lookups
+        self.unrestricted_lookups += other.unrestricted_lookups
+        self.iterations += other.iterations
+        self.peak_state_tuples = max(self.peak_state_tuples, other.peak_state_tuples)
+        self.peak_state_columns = max(self.peak_state_columns, other.peak_state_columns)
+        self.elapsed_seconds += other.elapsed_seconds
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat dictionary view, convenient for report tables."""
+        result: Dict[str, float] = {
+            "tuples_examined": self.tuples_examined,
+            "tuples_produced": self.tuples_produced,
+            "lookups": self.lookups,
+            "unrestricted_lookups": self.unrestricted_lookups,
+            "iterations": self.iterations,
+            "peak_state_tuples": self.peak_state_tuples,
+            "peak_state_columns": self.peak_state_columns,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        result.update(self.extra)
+        return result
+
+    def __str__(self) -> str:
+        return (
+            f"examined={self.tuples_examined} produced={self.tuples_produced} "
+            f"lookups={self.lookups} (unrestricted={self.unrestricted_lookups}) "
+            f"iterations={self.iterations} peak_state={self.peak_state_tuples}"
+        )

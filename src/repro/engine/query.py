@@ -1,0 +1,123 @@
+"""Selection queries on IDB predicates.
+
+The paper studies queries of the form "column = constant" on a recursively
+defined relation — e.g. ``t(X, n0)?`` or ``t(n0, Y)?``.  :class:`SelectionQuery`
+is the library-wide representation of such a query: a predicate name plus a
+mapping from (0-based) column numbers to constants.  Free columns are the
+output columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.errors import EvaluationError
+from ..datalog.relation import Row, Value
+from ..datalog.terms import Constant, Variable, is_variable
+from .instrumentation import EvaluationStats
+
+
+@dataclass(frozen=True)
+class SelectionQuery:
+    """A ``column = constant`` selection on an IDB predicate.
+
+    Attributes
+    ----------
+    predicate:
+        The IDB predicate being queried.
+    arity:
+        Its arity.
+    bindings:
+        Mapping of bound columns (0-based) to the selection constants.  An
+        empty mapping asks for the whole relation.
+    """
+
+    predicate: str
+    arity: int
+    bindings: Tuple[Tuple[int, Value], ...] = ()
+
+    @staticmethod
+    def of(predicate: str, arity: int, bindings: Optional[Dict[int, Value]] = None) -> "SelectionQuery":
+        """Build a query from a plain ``{column: constant}`` dictionary."""
+        items = tuple(sorted((bindings or {}).items()))
+        for column, _value in items:
+            if column < 0 or column >= arity:
+                raise EvaluationError(
+                    f"query on {predicate}/{arity}: column {column} out of range"
+                )
+        return SelectionQuery(predicate, arity, items)
+
+    @staticmethod
+    def from_atom(atom: Atom) -> "SelectionQuery":
+        """Build a query from a query atom such as ``t(1, Y)``.
+
+        Constant arguments become bindings; variable arguments are output
+        columns.  Repeated variables are rejected (the paper only considers
+        single-column selections and free columns).
+        """
+        seen: Set[Variable] = set()
+        bindings: Dict[int, Value] = {}
+        for position, arg in enumerate(atom.args):
+            if isinstance(arg, Constant):
+                bindings[position] = arg.value
+            elif is_variable(arg):
+                if arg in seen:
+                    raise EvaluationError(
+                        f"query {atom} repeats variable {arg}; use distinct output variables"
+                    )
+                seen.add(arg)
+        return SelectionQuery.of(atom.predicate, atom.arity, bindings)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def bindings_dict(self) -> Dict[int, Value]:
+        """The bindings as a plain dictionary."""
+        return dict(self.bindings)
+
+    def bound_columns(self) -> Tuple[int, ...]:
+        """The bound column numbers, ascending."""
+        return tuple(column for column, _ in self.bindings)
+
+    def free_columns(self) -> Tuple[int, ...]:
+        """The unbound (output) column numbers, ascending."""
+        bound = set(self.bound_columns())
+        return tuple(column for column in range(self.arity) if column not in bound)
+
+    def matches(self, row: Row) -> bool:
+        """``True`` when ``row`` satisfies every binding."""
+        return all(row[column] == value for column, value in self.bindings)
+
+    def select(self, rows: Set[Row]) -> Set[Row]:
+        """Filter a tuple set down to the tuples satisfying the query."""
+        return {row for row in rows if self.matches(row)}
+
+    def __str__(self) -> str:
+        parts = []
+        bindings = self.bindings_dict()
+        for column in range(self.arity):
+            parts.append(str(bindings[column]) if column in bindings else f"C{column}")
+        return f"{self.predicate}({', '.join(parts)})?"
+
+
+@dataclass
+class QueryResult:
+    """Answers to a selection query plus the stats of the strategy that produced them."""
+
+    query: SelectionQuery
+    answers: Set[Row]
+    stats: EvaluationStats
+    strategy: str = "unspecified"
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def projected(self) -> Set[Row]:
+        """The answers projected onto the query's free (output) columns."""
+        free = self.query.free_columns()
+        return {tuple(row[column] for column in free) for row in self.answers}
+
+    def __str__(self) -> str:
+        return f"{self.query} -> {len(self.answers)} answers via {self.strategy} [{self.stats}]"

@@ -1,0 +1,23 @@
+"""Expansion generation and connected-set analysis (Figure 1, Definitions 3.1-3.3)."""
+
+from .connected import (
+    SidednessEstimate,
+    connected_set_growth,
+    connected_set_sizes,
+    connected_sets,
+    estimate_sidedness,
+    instances_share_connected_set,
+)
+from .generator import expand, expand_general, expansion_prefix_program
+
+__all__ = [
+    "SidednessEstimate",
+    "connected_set_growth",
+    "connected_set_sizes",
+    "connected_sets",
+    "estimate_sidedness",
+    "expand",
+    "expand_general",
+    "expansion_prefix_program",
+    "instances_share_connected_set",
+]

@@ -1,0 +1,171 @@
+"""Connected sets of predicate instances (Definitions 3.1–3.3).
+
+Two predicate instances in a string are *connected* when they share a variable
+directly or through a chain of instances; a *connected set* is a maximal group
+of pairwise connected instances.  The definition of a k-sided recursion
+(Definition 3.3) counts, per string of the expansion and after removing the
+exit-rule instances, how many connected sets grow without bound.
+
+This module computes connected sets of concrete strings (union–find over
+shared variables) and derives an *empirical* sidedness estimate from a finite
+prefix of the expansion.  The structural detection of Theorem 3.1 lives in
+:mod:`repro.core.classify`; tests and benchmark E9 cross-validate the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.rules import Program
+from ..datalog.terms import Variable
+from ..cq.strings import ExpansionString
+from .generator import expand
+
+
+class _UnionFind:
+    """Minimal union–find over integer atom indexes."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, left: int, right: int) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root != right_root:
+            self.parent[right_root] = left_root
+
+
+def connected_sets(string: ExpansionString, include_exit: bool = True) -> List[List[int]]:
+    """The connected sets of a string, as lists of atom indexes.
+
+    ``include_exit=False`` removes the instances produced by the nonrecursive
+    rule first, as Definition 3.3 requires.  Atoms without variables form
+    singleton sets.
+    """
+    indexes = string.atom_indexes(include_exit=include_exit)
+    if not indexes:
+        return []
+    position_of = {atom_index: position for position, atom_index in enumerate(indexes)}
+    union_find = _UnionFind(len(indexes))
+    by_variable: Dict[Variable, int] = {}
+    for atom_index in indexes:
+        for variable in string.atoms[atom_index].variable_set():
+            if variable in by_variable:
+                union_find.union(by_variable[variable], position_of[atom_index])
+            else:
+                by_variable[variable] = position_of[atom_index]
+    groups: Dict[int, List[int]] = {}
+    for atom_index in indexes:
+        root = union_find.find(position_of[atom_index])
+        groups.setdefault(root, []).append(atom_index)
+    return sorted(groups.values(), key=lambda group: (-len(group), group))
+
+
+def connected_set_sizes(string: ExpansionString, include_exit: bool = False) -> List[int]:
+    """Sizes of the connected sets, largest first (exit instances removed by default)."""
+    return [len(group) for group in connected_sets(string, include_exit=include_exit)]
+
+
+@dataclass
+class SidednessEstimate:
+    """Result of the empirical Definition 3.3 estimate.
+
+    Attributes
+    ----------
+    k:
+        The estimated number of unbounded connected sets (0 means every
+        connected set stayed bounded over the examined prefix, i.e. the
+        recursion looks bounded).
+    threshold:
+        The size threshold ``c'`` used for the final count.
+    per_depth_sizes:
+        For each examined string (by recursion depth), the sorted connected
+        set sizes after removing exit-rule instances.
+    counts_by_threshold:
+        ``{c': max number of sets of size >= c' in any string}`` for the swept
+        thresholds — the raw data behind the estimate, reported by bench E9.
+    """
+
+    k: int
+    threshold: int
+    per_depth_sizes: List[List[int]] = field(default_factory=list)
+    counts_by_threshold: Dict[int, int] = field(default_factory=dict)
+
+
+def estimate_sidedness(
+    program: Program,
+    predicate: str,
+    depth: int = 12,
+    strings: Optional[Sequence[ExpansionString]] = None,
+) -> SidednessEstimate:
+    """Estimate the sidedness of a recursion from a finite expansion prefix.
+
+    The estimate follows Definition 3.3 directly: for a threshold ``c'`` well
+    below the deepest string's largest component but above any bounded
+    component, count the maximum number of size-≥-``c'`` connected sets in any
+    string.  For a genuinely k-sided recursion the count stabilises at ``k``
+    as ``c'`` grows; for a bounded recursion every component stays below the
+    threshold and the estimate is 0.
+    """
+    if strings is None:
+        strings = expand(program, predicate, depth)
+    per_depth_sizes = [connected_set_sizes(string, include_exit=False) for string in strings]
+    max_size = max((sizes[0] for sizes in per_depth_sizes if sizes), default=0)
+
+    counts_by_threshold: Dict[int, int] = {}
+    for threshold in range(1, max(2, max_size + 1)):
+        counts_by_threshold[threshold] = max(
+            (sum(1 for size in sizes if size >= threshold) for sizes in per_depth_sizes),
+            default=0,
+        )
+
+    if max_size <= 1:
+        return SidednessEstimate(0, 1, per_depth_sizes, counts_by_threshold)
+
+    # Components that stop growing are "bounded"; anything still at least half
+    # the deepest string's largest component is treated as unbounded.  For the
+    # depths used in tests/benches this separates the two regimes cleanly.
+    threshold = max(2, (max_size + 1) // 2)
+    k = counts_by_threshold.get(threshold, 0)
+    if max_size < 3:
+        # Nothing grew beyond a couple of atoms over `depth` recursive
+        # applications: treat every component as bounded.
+        k = 0
+    return SidednessEstimate(k, threshold, per_depth_sizes, counts_by_threshold)
+
+
+def connected_set_growth(
+    program: Program, predicate: str, depth: int
+) -> List[Tuple[int, List[int]]]:
+    """Per-depth connected-set sizes, for the E9 growth tables.
+
+    Returns ``[(recursion_depth, sorted sizes), ...]`` with exit instances
+    removed, one entry per string of the expansion prefix.
+    """
+    strings = expand(program, predicate, depth)
+    growth: List[Tuple[int, List[int]]] = []
+    for string in strings:
+        growth.append((string.recursion_depth(), connected_set_sizes(string, include_exit=False)))
+    return growth
+
+
+def instances_share_connected_set(
+    string: ExpansionString, first_index: int, second_index: int, include_exit: bool = True
+) -> bool:
+    """``True`` when two atoms of a string lie in the same connected set.
+
+    This is the concrete relation that Lemma 3.1 characterises through paths
+    in the full A/V graph; property tests compare the two.
+    """
+    for group in connected_sets(string, include_exit=include_exit):
+        if first_index in group:
+            return second_index in group
+    return False

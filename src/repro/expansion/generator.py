@@ -1,0 +1,257 @@
+"""Expansion generation (Procedure *Expand*, Figure 1, and its generalization).
+
+The *expansion* of a recursively defined predicate is the set of all
+conjunctions of EDB predicate instances obtainable by repeatedly applying
+rules, starting from an instance of the predicate.  For definitions with one
+linear recursive rule and nonrecursive exit rules, Figure 1 of the paper
+generates the expansion string by string; :func:`expand` implements that
+procedure literally, including the variable-subscript convention ("a
+nondistinguished variable ``W_i`` first appears in *CurString* on iteration
+``i``").
+
+Appendix A relaxes the single-rule restriction; :func:`expand_general`
+implements the fringe-based generalization described there, which is needed to
+expand the programs produced by the Theorem 3.2 reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.errors import ProgramError
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..cq.strings import AtomProvenance, ExpansionString
+
+
+def _apply_rule_to_instance(instance: Atom, rule: Rule, iteration: int) -> List[Atom]:
+    """Replace ``instance`` by the body of ``rule`` after unifying with the head.
+
+    Because rule heads contain no repeated variables and no constants, the
+    most general unifier is the matching head-variable → instance-argument;
+    every other rule variable receives the subscript of the current iteration,
+    exactly as in Figure 1.
+    """
+    if rule.head.predicate != instance.predicate or rule.head.arity != instance.arity:
+        raise ProgramError(f"rule {rule} does not apply to instance {instance}")
+    mapping: Dict[Variable, Term] = {}
+    for head_arg, instance_arg in zip(rule.head.args, instance.args):
+        if not is_variable(head_arg):
+            raise ProgramError(
+                f"rule {rule} has a constant in its head; the paper's expansion "
+                "procedure requires constant-free heads"
+            )
+        mapping[head_arg] = instance_arg
+    for variable in sorted(rule.variables()):
+        if variable not in mapping:
+            mapping[variable] = variable.with_subscript(iteration)
+    return [atom.substitute(mapping) for atom in rule.body]
+
+
+def expand(
+    program: Program,
+    predicate: str,
+    depth: int,
+    selection: Optional[Dict[int, object]] = None,
+) -> List[ExpansionString]:
+    """The first ``depth + 1`` strings of the expansion of ``predicate``.
+
+    Implements Procedure *Expand* (Figure 1) for definitions with a single
+    linear recursive rule; when the definition has several exit rules, each
+    depth contributes one string per exit rule (the expansion is their union).
+
+    Parameters
+    ----------
+    program:
+        The defining program.
+    predicate:
+        The recursively defined predicate to expand.
+    depth:
+        Maximum number of recursive-rule applications; string ``k`` applies the
+        recursive rule ``k`` times and then an exit rule.
+    selection:
+        Optional ``{column: constant}`` selection to push into the initial
+        instance, as Section 4 does when evaluating ``t(X, n0)`` — the
+        distinguished variable of a selected column is replaced by the
+        constant in every string.
+
+    Returns
+    -------
+    The strings ordered by recursion depth (and by exit-rule order within a
+    depth).
+    """
+    recursive_rule = program.linear_recursive_rule(predicate)
+    exit_rules = program.exit_rules_for(predicate)
+    if not exit_rules:
+        raise ProgramError(f"predicate {predicate} has no nonrecursive (exit) rule")
+
+    distinguished = tuple(recursive_rule.head_variables())
+    if len(distinguished) != recursive_rule.head.arity:
+        raise ProgramError(
+            f"recursive rule head {recursive_rule.head} must contain only variables"
+        )
+
+    initial_args: List[Term] = list(distinguished)
+    if selection:
+        for column, value in selection.items():
+            initial_args[column] = Constant(value) if not isinstance(value, Constant) else value
+    cur_instance = Atom(predicate, tuple(initial_args))
+
+    # CurString holds the non-recursive prefix accumulated so far plus the
+    # current recursive-predicate instance at a known position.
+    prefix_atoms: List[Atom] = []
+    prefix_provenance: List[AtomProvenance] = []
+    instance_position = 0  # where the recursive instance sits inside the string
+
+    strings: List[ExpansionString] = []
+    for iteration in range(depth + 1):
+        # Emit: CurString with each exit rule applied to the recursive instance.
+        for exit_rule in exit_rules:
+            exit_atoms = _apply_rule_to_instance(cur_instance, exit_rule, iteration)
+            atoms = (
+                prefix_atoms[:instance_position]
+                + exit_atoms
+                + prefix_atoms[instance_position:]
+            )
+            provenance = (
+                prefix_provenance[:instance_position]
+                + [AtomProvenance(iteration, True)] * len(exit_atoms)
+                + prefix_provenance[instance_position:]
+            )
+            strings.append(ExpansionString(distinguished, tuple(atoms), tuple(provenance)))
+
+        if iteration == depth:
+            break
+
+        # Advance: apply the recursive rule to the recursive instance.
+        body_atoms = _apply_rule_to_instance(cur_instance, recursive_rule, iteration)
+        recursive_offset = None
+        new_nonrecursive: List[Atom] = []
+        new_provenance: List[AtomProvenance] = []
+        for offset, atom in enumerate(body_atoms):
+            if atom.predicate == predicate and recursive_offset is None:
+                recursive_offset = len(new_nonrecursive)
+                cur_instance = atom
+            else:
+                new_nonrecursive.append(atom)
+                new_provenance.append(AtomProvenance(iteration, False))
+        if recursive_offset is None:
+            raise ProgramError(f"rule {recursive_rule} lost its recursive atom during expansion")
+        prefix_atoms = (
+            prefix_atoms[:instance_position]
+            + new_nonrecursive
+            + prefix_atoms[instance_position:]
+        )
+        prefix_provenance = (
+            prefix_provenance[:instance_position]
+            + new_provenance
+            + prefix_provenance[instance_position:]
+        )
+        instance_position += recursive_offset
+
+    return strings
+
+
+@dataclass(frozen=True)
+class _FringeElement:
+    """A partially expanded conjunction (may still contain IDB instances)."""
+
+    atoms: Tuple[Atom, ...]
+    provenance: Tuple[AtomProvenance, ...]
+    applications: int
+
+
+def expand_general(
+    program: Program,
+    predicate: str,
+    max_applications: int,
+    max_strings: int = 2000,
+    selection: Optional[Dict[int, object]] = None,
+) -> List[ExpansionString]:
+    """Generalized expansion for programs with any number of (linear) rules.
+
+    Appendix A: initialise the fringe with the initial instance of the
+    predicate; on each step pick an element of the fringe and an applicable
+    rule in all possible ways, replacing the chosen IDB instance by the rule
+    body.  The expansion is the set of conjunctions consisting solely of EDB
+    predicates.
+
+    ``max_applications`` bounds the number of rule applications along any
+    derivation; ``max_strings`` bounds the size of the returned list (the
+    expansion of a recursive predicate is infinite).
+    """
+    idb = program.idb_predicates()
+    if predicate not in idb:
+        raise ProgramError(f"predicate {predicate} is not defined by the program")
+
+    arity = program.arity_of(predicate)
+    distinguished = tuple(Variable(f"X{i + 1}") for i in range(arity))
+    initial_args: List[Term] = list(distinguished)
+    if selection:
+        for column, value in selection.items():
+            initial_args[column] = Constant(value) if not isinstance(value, Constant) else value
+
+    initial = _FringeElement(
+        atoms=(Atom(predicate, tuple(initial_args)),),
+        provenance=(AtomProvenance(0, False),),
+        applications=0,
+    )
+
+    results: List[ExpansionString] = []
+    seen_results: Set[Tuple[Atom, ...]] = set()
+    fringe: List[_FringeElement] = [initial]
+    seen_fringe: Set[Tuple[Atom, ...]] = {initial.atoms}
+
+    while fringe and len(results) < max_strings:
+        element = fringe.pop(0)
+        idb_positions = [i for i, atom in enumerate(element.atoms) if atom.predicate in idb]
+        if not idb_positions:
+            if element.atoms not in seen_results:
+                seen_results.add(element.atoms)
+                results.append(ExpansionString(distinguished, element.atoms, element.provenance))
+            continue
+        if element.applications >= max_applications:
+            continue
+        for position in idb_positions:
+            instance = element.atoms[position]
+            for rule in program.rules_for(instance.predicate):
+                try:
+                    body_atoms = _apply_rule_to_instance(instance, rule, element.applications)
+                except ProgramError:
+                    continue
+                new_atoms = (
+                    element.atoms[:position]
+                    + tuple(body_atoms)
+                    + element.atoms[position + 1 :]
+                )
+                new_provenance = (
+                    element.provenance[:position]
+                    + tuple(
+                        AtomProvenance(element.applications, not rule.is_recursive())
+                        for _ in body_atoms
+                    )
+                    + element.provenance[position + 1 :]
+                )
+                if new_atoms in seen_fringe:
+                    continue
+                seen_fringe.add(new_atoms)
+                fringe.append(
+                    _FringeElement(new_atoms, new_provenance, element.applications + 1)
+                )
+    return results
+
+
+def expansion_prefix_program(strings: Sequence[ExpansionString], predicate: str) -> Program:
+    """Re-express a finite set of strings as a nonrecursive program.
+
+    Each string becomes one rule ``predicate(distinguished) :- atoms``.  Used
+    when comparing a recursion against a finite prefix of its expansion and by
+    the boundedness machinery of Appendix A.
+    """
+    rules: List[Rule] = []
+    for string in strings:
+        head = Atom(predicate, tuple(string.distinguished))
+        rules.append(Rule(head, tuple(string.atoms)))
+    return Program(tuple(rules))

@@ -1,0 +1,158 @@
+"""Special database families constructed in the paper's proofs and examples.
+
+* :func:`lemma_4_2_database` — the family of databases from Lemma 4.2: for any
+  ``k`` there is a database on which the only proof of some tuple of the
+  canonical two-sided recursion repeats a constant ``k`` times in a column of
+  ``a``.
+* :func:`buys_database` — likes/knows/cheap data for the Section 3 buys
+  recursion.
+* :func:`same_generation_database` — parent data (a uniform tree) for the
+  same-generation recursion of Example 3.3.
+* :func:`permissions_database` — edge + permission data for Example 4.1.
+* :func:`appendix_a_database` — EDB data for Example A.1's program P and its
+  reduction Q.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from .graphs import Edge, random_pairs, uniform_tree
+
+
+def lemma_4_2_database(k: int) -> Tuple[Database, Tuple[str, str]]:
+    """The Lemma 4.2 adversarial family for the canonical two-sided recursion.
+
+    For the recursion ``t(X, Y) :- a(X, W), t(W, Z), c(Z, Y)`` /
+    ``t(X, Y) :- b(X, Y)``:
+
+    * ``a`` contains the single tuple ``(v1, v1)`` (a self-loop),
+    * ``b`` contains ``(v1, v0)``,
+    * ``c`` contains the chain ``(v0, v1), (v1, v2), ..., (v_{2k-1}, v_{2k})``.
+
+    The only proof that ``(v1, v_k... )`` — concretely ``(v1, c_chain[k])`` —
+    is in ``t`` uses the ``a`` self-loop ``k`` times, so ``v1`` appears ``k``
+    times in the first column of ``a`` in that proof.  The function returns
+    the database and the target tuple whose proof exhibits the repetition.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    database = Database()
+    database.add_fact("a", ("v1", "v1"))
+    database.add_fact("b", ("v1", "v0"))
+    for index in range(2 * k):
+        database.add_fact("c", (f"v{index}" if index else "v0", f"v{index + 1}"))
+    target = ("v1", f"v{k}")
+    return database, target
+
+
+def buys_database(
+    people: int = 30,
+    items: int = 20,
+    likes_per_person: int = 2,
+    knows_per_person: int = 3,
+    cheap_fraction: float = 0.5,
+    seed: int = 0,
+) -> Database:
+    """Random likes/knows/cheap data for the Section 3 buys recursion."""
+    rng = random.Random(seed)
+    database = Database()
+    database.declare("likes", 2)
+    database.declare("knows", 2)
+    database.declare("cheap", 1)
+    cheap_items = [f"item{i}" for i in range(items) if rng.random() < cheap_fraction]
+    for item in cheap_items:
+        database.add_fact("cheap", (item,))
+    for person in range(people):
+        for _ in range(likes_per_person):
+            database.add_fact("likes", (f"person{person}", f"item{rng.randrange(items)}"))
+        for _ in range(knows_per_person):
+            other = rng.randrange(people)
+            if other != person:
+                database.add_fact("knows", (f"person{person}", f"person{other}"))
+    return database
+
+
+def same_generation_database(branching: int = 2, depth: int = 5) -> Database:
+    """Parent data (child → parent) for the same-generation recursion.
+
+    The exit relation ``sg0`` is the identity on every node (everyone is in
+    the same generation as themselves), which is the standard setup.
+    """
+    edges = uniform_tree(branching, depth)
+    database = Database()
+    database.declare("p", 2)
+    database.declare("sg0", 2)
+    nodes = {0}
+    for parent, child in edges:
+        database.add_fact("p", (child, parent))  # p(child, parent): one step up
+        nodes.add(parent)
+        nodes.add(child)
+    for node in nodes:
+        database.add_fact("sg0", (node, node))
+    # the distinct-predicate variant shares the same data under different names
+    database.declare("up", 2)
+    database.declare("down", 2)
+    database.declare("flat", 2)
+    for parent, child in edges:
+        database.add_fact("up", (child, parent))
+        database.add_fact("down", (child, parent))
+    for node in nodes:
+        database.add_fact("flat", (node, node))
+    return database
+
+
+def permissions_database(
+    edges: Sequence[Edge],
+    permission_fraction: float = 0.7,
+    seed: int = 0,
+) -> Database:
+    """Edge + permission data for Example 4.1 (transitive closure with permissions).
+
+    ``a`` and ``b`` both hold the edges; ``p`` holds a random subset of all
+    node pairs (the pairs for which traversal is permitted).
+    """
+    rng = random.Random(seed)
+    database = Database()
+    database.declare("a", 2)
+    database.declare("b", 2)
+    database.declare("p", 2)
+    nodes = set()
+    for source, target in edges:
+        database.add_fact("a", (source, target))
+        database.add_fact("b", (source, target))
+        nodes.add(source)
+        nodes.add(target)
+    for source in nodes:
+        for target in nodes:
+            if rng.random() < permission_fraction:
+                database.add_fact("p", (source, target))
+    return database
+
+
+def appendix_a_database(pairs: int = 12, domain: int = 8, seed: int = 0) -> Database:
+    """EDB data for Example A.1's program P (relations ``c`` and ``p0``)."""
+    rng = random.Random(seed)
+    database = Database()
+    database.declare("c", 1)
+    database.declare("p0", 2)
+    for value in range(domain):
+        if rng.random() < 0.7:
+            database.add_fact("c", (value,))
+    for source, target in random_pairs(pairs, domain, seed=seed + 1):
+        database.add_fact("p0", (source, target))
+    return database
+
+
+def unbounded_p_database(edges: int = 20, domain: int = 10, seed: int = 0) -> Database:
+    """EDB data for the unbounded program used as the Appendix A negative case."""
+    database = Database()
+    database.declare("r", 2)
+    database.declare("p0", 2)
+    for source, target in random_pairs(edges, domain, seed=seed):
+        database.add_fact("r", (source, target))
+    for source, target in random_pairs(max(3, edges // 3), domain, seed=seed + 7):
+        database.add_fact("p0", (source, target))
+    return database

@@ -1,0 +1,105 @@
+"""Unit tests for the instrumented relational algebra (:mod:`repro.engine.algebra`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.relation import Relation
+from repro.engine import algebra
+from repro.engine.instrumentation import EvaluationStats
+
+
+@pytest.fixture
+def edges() -> Relation:
+    return Relation("a", 2, [(1, 2), (2, 3), (3, 4), (1, 4)])
+
+
+class TestSelect:
+    def test_select_on_relation_uses_index(self, edges):
+        stats = EvaluationStats()
+        result = algebra.select(edges, {0: 1}, stats)
+        assert result == {(1, 2), (1, 4)}
+        assert stats.tuples_examined == 2
+        assert stats.unrestricted_lookups == 0
+
+    def test_select_without_bindings_counts_as_unrestricted(self, edges):
+        stats = EvaluationStats()
+        result = algebra.select(edges, {}, stats)
+        assert result == set(edges)
+        assert stats.unrestricted_lookups == 1
+
+    def test_select_on_tuple_set(self):
+        stats = EvaluationStats()
+        result = algebra.select({(1, 2), (2, 2)}, {1: 2}, stats)
+        assert result == {(1, 2), (2, 2)}
+
+
+class TestProjectJoinUnion:
+    def test_project(self, edges):
+        assert algebra.project(edges, [1]) == {(2,), (3,), (4,)}
+        assert algebra.project({(1, 2)}, [1, 0]) == {(2, 1)}
+
+    def test_join_against_relation_counts_probes(self, edges):
+        stats = EvaluationStats()
+        left = {(10, 1), (11, 3)}
+        result = algebra.join(left, edges, 1, 0, stats)
+        assert result == {(10, 1, 1, 2), (10, 1, 1, 4), (11, 3, 3, 4)}
+        assert stats.lookups == 2
+        assert stats.unrestricted_lookups == 0
+
+    def test_join_against_tuple_set(self):
+        result = algebra.join({(1,)}, {(1, 5), (2, 6)}, 0, 0)
+        assert result == {(1, 1, 5)}
+
+    def test_semijoin(self, edges):
+        stats = EvaluationStats()
+        result = algebra.semijoin({1, 3}, edges, 0, stats)
+        assert result == {(1, 2), (1, 4), (3, 4)}
+        assert stats.tuples_examined == 3
+
+    def test_union_and_difference(self):
+        assert algebra.union({(1,)}, {(2,)}) == {(1,), (2,)}
+        assert algebra.difference({(1,), (2,)}, {(2,)}) == {(1,)}
+
+    def test_scan_is_unrestricted(self, edges):
+        stats = EvaluationStats()
+        assert algebra.scan(edges, stats) == set(edges)
+        assert stats.unrestricted_lookups == 1
+
+    def test_columns_of(self, edges):
+        assert algebra.columns_of(edges) == 2
+        assert algebra.columns_of({(1, 2, 3)}) == 3
+        assert algebra.columns_of(set()) == 0
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        first = EvaluationStats(tuples_examined=5, iterations=2, peak_state_tuples=7)
+        second = EvaluationStats(tuples_examined=3, iterations=1, peak_state_tuples=4)
+        second.extra["carry_arity"] = 1
+        merged = first.merge(second)
+        assert merged.tuples_examined == 8
+        assert merged.iterations == 3
+        assert merged.peak_state_tuples == 7
+        assert merged.extra["carry_arity"] == 1
+
+    def test_as_dict_includes_extras(self):
+        stats = EvaluationStats()
+        stats.extra["magic_rules"] = 4
+        flattened = stats.as_dict()
+        assert flattened["magic_rules"] == 4
+        assert "tuples_examined" in flattened
+
+    def test_timer(self):
+        stats = EvaluationStats()
+        stats.start_timer()
+        stats.stop_timer()
+        assert stats.elapsed_seconds >= 0
+        stats.stop_timer()  # idempotent when not running
+
+    def test_record_state_tracks_peak(self):
+        stats = EvaluationStats()
+        stats.record_state(5, 10)
+        stats.record_state(3, 20)
+        assert stats.peak_state_tuples == 5
+        assert stats.peak_state_columns == 20

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.datalog.atoms`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.atoms import Atom, atoms_variables, fact, share_variable
+from repro.datalog.terms import Constant, Variable
+
+
+@pytest.fixture
+def a_xz() -> Atom:
+    return Atom.of("a", "X", "Z")
+
+
+class TestConstruction:
+    def test_of_coerces_arguments(self, a_xz):
+        assert a_xz.predicate == "a"
+        assert a_xz.args == (Variable("X"), Variable("Z"))
+
+    def test_of_mixes_constants_and_variables(self):
+        atom = Atom.of("b", 1, "Y")
+        assert atom.args == (Constant(1), Variable("Y"))
+
+    def test_fact_builds_ground_atom(self):
+        ground = fact("edge", (1, 2))
+        assert ground.is_ground()
+        assert ground.args == (Constant(1), Constant(2))
+
+    def test_str(self, a_xz):
+        assert str(a_xz) == "a(X, Z)"
+        assert str(Atom("nullary", ())) == "nullary"
+
+
+class TestQueries:
+    def test_arity(self, a_xz):
+        assert a_xz.arity == 2
+
+    def test_variables_in_order_with_duplicates(self):
+        atom = Atom.of("p", "X", "Y", "X")
+        assert atom.variables() == [Variable("X"), Variable("Y"), Variable("X")]
+        assert atom.variable_set() == {Variable("X"), Variable("Y")}
+
+    def test_constants(self):
+        atom = Atom.of("p", 1, "Y", 2)
+        assert atom.constants() == [Constant(1), Constant(2)]
+
+    def test_is_ground(self):
+        assert Atom.of("p", 1, 2).is_ground()
+        assert not Atom.of("p", 1, "Y").is_ground()
+
+    def test_positions_of(self):
+        atom = Atom.of("p", "X", "Y", "X")
+        assert atom.positions_of(Variable("X")) == [0, 2]
+        assert atom.positions_of(Variable("Z")) == []
+
+
+class TestTransformations:
+    def test_substitute_variables(self, a_xz):
+        substituted = a_xz.substitute({Variable("X"): Constant(1)})
+        assert substituted == Atom("a", (Constant(1), Variable("Z")))
+
+    def test_substitute_leaves_original_unchanged(self, a_xz):
+        a_xz.substitute({Variable("X"): Constant(1)})
+        assert a_xz.args[0] == Variable("X")
+
+    def test_substitute_to_other_variable(self, a_xz):
+        renamed = a_xz.rename({Variable("Z"): Variable("W")})
+        assert renamed == Atom.of("a", "X", "W")
+
+    def test_with_subscript(self, a_xz):
+        subscripted = a_xz.with_subscript(3)
+        assert subscripted.args == (Variable("X", 3), Variable("Z", 3))
+
+    def test_with_subscript_skips_constants(self):
+        atom = Atom.of("p", 1, "Y")
+        assert atom.with_subscript(2).args == (Constant(1), Variable("Y", 2))
+
+
+class TestRelationsBetweenAtoms:
+    def test_share_variable_true(self):
+        assert share_variable(Atom.of("a", "X", "Z"), Atom.of("t", "Z", "Y"))
+
+    def test_share_variable_false(self):
+        assert not share_variable(Atom.of("a", "X", "Z"), Atom.of("c", "W", "Y"))
+
+    def test_share_variable_ignores_constants(self):
+        assert not share_variable(Atom.of("a", 1, 2), Atom.of("b", 1, 2))
+
+    def test_atoms_variables_union(self):
+        atoms = [Atom.of("a", "X", "Z"), Atom.of("b", "Z", "Y")]
+        assert atoms_variables(atoms) == {Variable("X"), Variable("Y"), Variable("Z")}

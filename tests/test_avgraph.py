@@ -1,0 +1,186 @@
+"""Tests for A/V graph construction and cycle analysis (Figures 2-6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avgraph import (
+    ArgNode,
+    VarNode,
+    analyze_components,
+    build_av_graph,
+    build_full_av_graph,
+    component_containing_predicate,
+    components_with_nonzero_cycles,
+    describe,
+    to_dot,
+)
+from repro.avgraph.build import IDENTITY, PREDICATE, UNIFICATION
+from repro.avgraph.cycles import nonzero_cycle_nodes, simple_cycles
+from repro.datalog import ProgramError, parse_rule
+from repro.datalog.terms import Variable
+from repro.workloads import (
+    buys_unoptimized,
+    example_3_4,
+    example_3_5,
+    same_generation,
+    transitive_closure,
+)
+
+
+@pytest.fixture
+def tc_rule():
+    return transitive_closure().linear_recursive_rule("t")
+
+
+class TestAVGraphConstruction:
+    """Figure 2: the A/V graph of the canonical one-sided recursion."""
+
+    def test_figure_2_nodes(self, tc_rule):
+        graph = build_av_graph(tc_rule)
+        labels = {node.label() for node in graph.nodes}
+        assert labels == {"X", "Y", "Z", "a1", "a2", "t1", "t2"}
+
+    def test_figure_2_edges(self, tc_rule):
+        graph = build_av_graph(tc_rule)
+        identity = {(e.source.label(), e.target.label()) for e in graph.edges if e.kind == IDENTITY}
+        unification = {(e.source.label(), e.target.label()) for e in graph.edges if e.kind == UNIFICATION}
+        assert identity == {("a1", "X"), ("a2", "Z"), ("t1", "Z"), ("t2", "Y")}
+        assert unification == {("t1", "X"), ("t2", "Y")}
+        assert not [e for e in graph.edges if e.kind == PREDICATE]
+
+    def test_unification_edges_have_weight_one(self, tc_rule):
+        graph = build_av_graph(tc_rule)
+        for edge in graph.edges:
+            assert edge.weight == (1 if edge.kind == UNIFICATION else 0)
+
+    def test_rejects_nonlinear_rules(self):
+        with pytest.raises(ProgramError):
+            build_av_graph(parse_rule("t(X, Y) :- t(X, Z), t(Z, Y)."))
+
+    def test_argument_nodes_flag_recursive_predicate(self, tc_rule):
+        graph = build_av_graph(tc_rule)
+        recursive = {n.label() for n in graph.argument_nodes() if n.recursive}
+        assert recursive == {"t1", "t2"}
+
+
+class TestFullAVGraph:
+    """Figure 3: predicate edges added, variable-only components pruned."""
+
+    def test_figure_3_prunes_y_t2_component(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        labels = {node.label() for node in graph.nodes}
+        assert labels == {"X", "Z", "a1", "a2", "t1"}
+
+    def test_figure_3_has_predicate_edge(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        predicate_edges = [e for e in graph.edges if e.kind == PREDICATE]
+        assert {(e.source.label(), e.target.label()) for e in predicate_edges} == {("a1", "a2")}
+
+    def test_repeated_predicates_get_distinct_nodes(self):
+        graph = build_full_av_graph(same_generation().linear_recursive_rule("sg"))
+        p_nodes = [n for n in graph.argument_nodes() if n.predicate == "p"]
+        assert len(p_nodes) == 4
+        assert {n.occurrence for n in p_nodes} == {0, 1}
+        assert {n.label() for n in p_nodes} == {"p1", "p2", "p#21", "p#22"}
+
+    def test_figure_4_same_generation_two_components(self):
+        graph = build_full_av_graph(same_generation().linear_recursive_rule("sg"))
+        components = analyze_components(graph)
+        assert len(components) == 2
+        assert all(c.cycle_gcd == 1 for c in components)
+
+    def test_figure_5_example_3_4(self):
+        graph = build_full_av_graph(example_3_4().linear_recursive_rule("t"))
+        components = analyze_components(graph)
+        nonzero = [c for c in components if c.has_nonzero_weight_cycle]
+        assert len(nonzero) == 1
+        assert nonzero[0].cycle_gcd == 1
+        # the d(Z) part survives as a separate, cycle-free component
+        d_component = component_containing_predicate(graph, "d")
+        assert d_component is not None
+        assert not d_component.has_nonzero_weight_cycle
+
+    def test_figure_6_example_3_5_cycle_weight_two(self):
+        graph = build_full_av_graph(example_3_5().linear_recursive_rule("t"))
+        components = analyze_components(graph)
+        assert len(components) == 1
+        assert components[0].cycle_gcd == 2
+        assert components[0].has_nonzero_weight_cycle
+        assert not components[0].has_weight_one_cycle
+
+    def test_nullary_and_unary_predicates_are_handled(self):
+        rule = parse_rule("t(X, Y) :- flag, c(X), t(X, Y).")
+        graph = build_full_av_graph(rule)
+        labels = {node.label() for node in graph.nodes}
+        assert "c1" in labels
+
+
+class TestComponentAnalysis:
+    def test_walk_weights_on_tc(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        component = analyze_components(graph)[0]
+        a1 = graph.node_by_label("a1")
+        a2 = graph.node_by_label("a2")
+        base, gcd = component.walk_weights(a1, a2)
+        # a1 and a2 are joined by weight-0 edges, and the component's cycle gcd is 1,
+        # so walks of every integer weight exist between them.
+        assert gcd == 1
+        assert (base - 0) % gcd == 0
+
+    def test_nondistinguished_detection(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        component = analyze_components(graph)[0]
+        distinguished = set(tc_rule.head_variables())
+        assert component.has_nondistinguished_variable(distinguished)
+        assert component.nondistinguished_variables(distinguished) == {Variable("Z")}
+
+    def test_nonrecursive_predicates_listed(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        component = analyze_components(graph)[0]
+        assert component.nonrecursive_predicates() == {("a", 0)}
+
+    def test_components_with_nonzero_cycles(self):
+        graph = build_full_av_graph(buys_unoptimized().linear_recursive_rule("buys"))
+        assert len(components_with_nonzero_cycles(graph)) == 2
+
+
+class TestSimpleCycles:
+    def test_tc_has_a_weight_one_two_cycle(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        cycles = simple_cycles(graph)
+        weights = {weight for _nodes, weight in cycles}
+        assert 1 in weights
+
+    def test_example_3_5_simple_cycle_weight_two(self):
+        graph = build_full_av_graph(example_3_5().linear_recursive_rule("t"))
+        nonzero_weights = {w for _nodes, w in simple_cycles(graph) if w != 0}
+        assert nonzero_weights == {2}
+
+    def test_nonzero_cycle_nodes_excludes_pendant_nodes(self):
+        rule = parse_rule("t(X, Y) :- a(X, W), t(X, Y).")
+        graph = build_full_av_graph(rule)
+        on_cycles = {node.label() for node in nonzero_cycle_nodes(graph)}
+        assert "W" not in on_cycles
+        assert "X" in on_cycles
+
+    def test_acyclic_component_has_no_cycles(self):
+        graph = build_full_av_graph(example_3_4().linear_recursive_rule("t"))
+        d_component = component_containing_predicate(graph, "d")
+        assert d_component is not None
+        cycle_nodes = nonzero_cycle_nodes(graph)
+        assert not (cycle_nodes & d_component.nodes)
+
+
+class TestRendering:
+    def test_describe_mentions_every_component(self, tc_rule):
+        graph = build_full_av_graph(tc_rule)
+        text = describe(graph)
+        assert "component 1" in text
+        assert "cycle-weight gcd = 1" in text
+
+    def test_dot_output_is_wellformed(self, tc_rule):
+        dot = to_dot(build_full_av_graph(tc_rule), name="fig3")
+        assert dot.startswith("digraph fig3 {")
+        assert dot.rstrip().endswith("}")
+        assert '"t1" -> "X"' in dot

@@ -1,0 +1,99 @@
+"""Tests for the uniform-boundedness checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    bounded_prefix_depth,
+    is_bounded_empirical,
+    is_uniformly_bounded_structural,
+    is_uniformly_unbounded_structural,
+)
+from repro.datalog import parse_program
+from repro.workloads import (
+    appendix_a_p,
+    canonical_two_sided,
+    example_3_4,
+    tc_with_permissions,
+    transitive_closure,
+)
+
+
+class TestStructuralCriterion:
+    def test_appendix_a_p_is_bounded(self):
+        assert is_uniformly_bounded_structural(appendix_a_p(), "p")
+
+    def test_transitive_closure_is_unbounded(self):
+        assert not is_uniformly_bounded_structural(transitive_closure(), "t")
+        assert is_uniformly_unbounded_structural(transitive_closure(), "t")
+
+    def test_canonical_two_sided_is_unbounded(self):
+        assert not is_uniformly_bounded_structural(canonical_two_sided(), "t")
+
+    def test_example_3_4_is_unbounded(self):
+        assert not is_uniformly_bounded_structural(example_3_4(), "t")
+
+    def test_pendant_only_rule_is_bounded(self):
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W), t(X, Y).
+            t(X, Y) :- b(X, Y).
+            """
+        )
+        assert is_uniformly_bounded_structural(program, "t")
+
+    def test_no_nonrecursive_atoms_is_bounded(self):
+        program = parse_program(
+            """
+            t(X, Y) :- t(Y, X).
+            t(X, Y) :- b(X, Y).
+            """
+        )
+        assert is_uniformly_bounded_structural(program, "t")
+
+
+class TestEmpiricalCriterion:
+    def test_appendix_a_p_bounded_at_depth_one(self):
+        assert bounded_prefix_depth(appendix_a_p(), "p") == 1
+        assert is_bounded_empirical(appendix_a_p(), "p")
+
+    def test_transitive_closure_has_no_bounded_prefix(self):
+        assert bounded_prefix_depth(transitive_closure(), "t", max_depth=6) is None
+        assert not is_bounded_empirical(transitive_closure(), "t", max_depth=6)
+
+    def test_swap_rule_bounded_at_depth_two(self):
+        program = parse_program(
+            """
+            t(X, Y) :- t(Y, X).
+            t(X, Y) :- b(X, Y).
+            """
+        )
+        assert bounded_prefix_depth(program, "t") == 2
+
+    def test_pendant_rule_bounded_quickly(self):
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W), t(X, Y).
+            t(X, Y) :- b(X, Y).
+            """
+        )
+        depth = bounded_prefix_depth(program, "t")
+        assert depth is not None and depth <= 2
+
+    @pytest.mark.parametrize(
+        "factory, predicate",
+        [
+            (transitive_closure, "t"),
+            (canonical_two_sided, "t"),
+            (tc_with_permissions, "t"),
+            (example_3_4, "t"),
+            (appendix_a_p, "p"),
+        ],
+    )
+    def test_structural_and_empirical_agree(self, factory, predicate):
+        """On the decidable subclass the two checks must agree (cross-validation)."""
+        program = factory()
+        structural = is_uniformly_bounded_structural(program, predicate)
+        empirical = is_bounded_empirical(program, predicate, max_depth=6)
+        assert structural == empirical

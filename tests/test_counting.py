@@ -1,0 +1,120 @@
+"""Tests for the counting-method baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    counting_query,
+    counting_without_counts_query,
+    detect_chain_shape,
+)
+from repro.datalog import Database, EvaluationError, ProgramError, parse_program
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import (
+    canonical_two_sided,
+    chain,
+    edge_database,
+    layered_dag,
+    lemma_4_2_database,
+    same_generation,
+    transitive_closure,
+)
+
+
+@pytest.fixture
+def two_sided_chain_db() -> Database:
+    return Database.from_dict(
+        {
+            "a": chain(5),
+            "b": [(5, "z0"), (3, "z0")],
+            "c": [(f"z{i}" if i else "z0", f"z{i + 1}") for i in range(8)],
+        }
+    )
+
+
+class TestShapeDetection:
+    def test_canonical_two_sided_shape(self, two_sided_program):
+        shape = detect_chain_shape(two_sided_program, "t")
+        assert shape.up_predicate == "a"
+        assert shape.down_predicate == "c"
+
+    def test_canonical_one_sided_shape(self, tc_program):
+        shape = detect_chain_shape(tc_program, "t")
+        assert shape.up_predicate == "a"
+        assert shape.down_predicate is None
+
+    def test_rejects_other_shapes(self):
+        with pytest.raises(ProgramError):
+            detect_chain_shape(same_generation(), "sg")
+        ternary = parse_program(
+            "t(X, Y, Z) :- a(X, W), t(W, Y, Z). t(X, Y, Z) :- b(X, Y, Z)."
+        )
+        with pytest.raises(ProgramError):
+            detect_chain_shape(ternary, "t")
+
+
+class TestCountingQuery:
+    def test_one_sided_acyclic(self, tc_program):
+        database = edge_database(layered_dag(5, 3, 2, seed=13))
+        query = SelectionQuery.of("t", 2, {0: 0})
+        result = counting_query(tc_program, database, query)
+        reference, _ = seminaive_query(tc_program, database, "t", {0: 0})
+        assert result.answers == reference
+
+    def test_two_sided_acyclic(self, two_sided_program, two_sided_chain_db):
+        query = SelectionQuery.of("t", 2, {0: 0})
+        result = counting_query(two_sided_program, two_sided_chain_db, query)
+        reference, _ = seminaive_query(two_sided_program, two_sided_chain_db, "t", {0: 0})
+        assert result.answers == reference
+
+    def test_two_sided_exact_on_lemma_4_2_family_with_depth_bound(self):
+        """Counting keeps the depth index, so unlike the unary-carry algorithm it
+        could handle the revisits — but the Lemma 4.2 family is cyclic, so the
+        method hits its termination problem instead."""
+        database, _target = lemma_4_2_database(3)
+        with pytest.raises(EvaluationError):
+            counting_query(canonical_two_sided(), database, SelectionQuery.of("t", 2, {0: "v1"}), max_depth=50)
+
+    def test_cyclic_data_raises(self, two_sided_program):
+        database = Database.from_dict(
+            {"a": [(0, 1), (1, 0)], "b": [(0, "z0")], "c": [("z0", "z1")]}
+        )
+        with pytest.raises(EvaluationError):
+            counting_query(two_sided_program, database, SelectionQuery.of("t", 2, {0: 0}), max_depth=20)
+
+    def test_requires_first_column_binding(self, two_sided_program, two_sided_chain_db):
+        with pytest.raises(EvaluationError):
+            counting_query(two_sided_program, two_sided_chain_db, SelectionQuery.of("t", 2, {1: "z1"}))
+
+    def test_counting_levels_reported(self, tc_program):
+        database = edge_database(chain(6))
+        result = counting_query(tc_program, database, SelectionQuery.of("t", 2, {0: 0}))
+        assert result.stats.extra["counting_levels"] >= 6
+
+
+class TestCountingWithoutCounts:
+    """The end-of-Section-4 question: drop the counting fields for one-sided recursions."""
+
+    def test_matches_counting_on_one_sided(self, tc_program):
+        database = edge_database(layered_dag(4, 3, 2, seed=17))
+        query = SelectionQuery.of("t", 2, {0: 0})
+        with_counts = counting_query(tc_program, database, query)
+        without_counts = counting_without_counts_query(tc_program, database, query)
+        assert with_counts.answers == without_counts.answers
+
+    def test_terminates_on_cyclic_data_unlike_counting(self, tc_program, cyclic_db):
+        query = SelectionQuery.of("t", 2, {0: 0})
+        result = counting_without_counts_query(tc_program, cyclic_db, query)
+        reference, _ = seminaive_query(tc_program, cyclic_db, "t", {0: 0})
+        assert result.answers == reference
+
+    def test_rejected_on_recursions_with_a_down_chain(self, two_sided_program, two_sided_chain_db):
+        with pytest.raises(EvaluationError):
+            counting_without_counts_query(
+                two_sided_program, two_sided_chain_db, SelectionQuery.of("t", 2, {0: 0})
+            )
+
+    def test_unary_state(self, tc_program, chain_db):
+        result = counting_without_counts_query(tc_program, chain_db, SelectionQuery.of("t", 2, {0: 0}))
+        assert result.stats.extra["carry_arity"] == 1

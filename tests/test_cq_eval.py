@@ -1,0 +1,179 @@
+"""Unit tests for bound-aware conjunctive-query evaluation (:mod:`repro.engine.cq_eval`)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_atom, parse_rule
+from repro.datalog.relation import Relation
+from repro.datalog.terms import Variable
+from repro.engine.cq_eval import (
+    as_relation,
+    evaluate_body,
+    evaluate_body_project,
+    evaluate_rule,
+    evaluate_rule_with_delta,
+    plan_order,
+)
+from repro.engine.instrumentation import EvaluationStats
+
+
+@pytest.fixture
+def relations():
+    return {
+        "a": Relation("a", 2, [(1, 2), (2, 3), (3, 4)]),
+        "b": Relation("b", 2, [(4, 5), (2, 9)]),
+        "p": Relation("p", 1, [(2,), (3,)]),
+    }
+
+
+def brute_force(atoms, relations, bindings=None):
+    """Reference implementation: enumerate every combination of rows."""
+    variables = sorted({v for atom in atoms for v in atom.variable_set()}, key=str)
+    results = []
+    row_choices = [sorted(relations.get(atom.predicate, Relation(atom.predicate, atom.arity)).rows()) for atom in atoms]
+    for combination in itertools.product(*row_choices):
+        assignment = dict(bindings or {})
+        consistent = True
+        for atom, row in zip(atoms, combination):
+            for arg, value in zip(atom.args, row):
+                if isinstance(arg, Variable):
+                    if arg in assignment and assignment[arg] != value:
+                        consistent = False
+                        break
+                    assignment[arg] = value
+                elif arg.value != value:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+        if consistent:
+            results.append({v: assignment[v] for v in variables if v in assignment})
+    return {tuple(sorted(result.items(), key=lambda kv: str(kv[0]))) for result in results}
+
+
+class TestEvaluateBody:
+    def test_single_atom(self, relations):
+        atoms = [parse_atom("a(X, Y)")]
+        assignments = evaluate_body(atoms, relations)
+        assert len(assignments) == 3
+
+    def test_join_two_atoms(self, relations):
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(Z, Y)")]
+        assignments = evaluate_body(atoms, relations)
+        pairs = {(a[Variable("X")], a[Variable("Y")]) for a in assignments}
+        assert pairs == {(3, 5), (1, 9)}
+
+    def test_bindings_restrict_results(self, relations):
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(Z, Y)")]
+        assignments = evaluate_body(atoms, relations, {Variable("X"): 3})
+        assert len(assignments) == 1
+        assert assignments[0][Variable("Y")] == 5
+
+    def test_constants_in_atoms(self, relations):
+        assignments = evaluate_body([parse_atom("a(1, Z)")], relations)
+        assert [a[Variable("Z")] for a in assignments] == [2]
+
+    def test_repeated_variable_in_atom(self):
+        loops = {"e": Relation("e", 2, [(1, 1), (1, 2), (3, 3)])}
+        assignments = evaluate_body([parse_atom("e(X, X)")], loops)
+        assert {a[Variable("X")] for a in assignments} == {1, 3}
+
+    def test_missing_relation_gives_no_answers(self, relations):
+        assert evaluate_body([parse_atom("ghost(X)")], relations) == []
+
+    def test_unsatisfiable_conjunction(self, relations):
+        atoms = [parse_atom("a(X, Z)"), parse_atom("p(X)"), parse_atom("b(X, Z)")]
+        assert evaluate_body(atoms, relations) == []
+
+    def test_matches_brute_force_on_paper_string(self, relations):
+        atoms = [parse_atom("a(X, Z0)"), parse_atom("a(Z0, Z1)"), parse_atom("b(Z1, Y)")]
+        fast = evaluate_body(atoms, relations)
+        fast_set = {tuple(sorted(a.items(), key=lambda kv: str(kv[0]))) for a in fast}
+        assert fast_set == brute_force(atoms, relations)
+
+    def test_stats_count_restricted_lookups(self, relations):
+        stats = EvaluationStats()
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(Z, Y)")]
+        evaluate_body(atoms, relations, {Variable("X"): 1}, stats)
+        assert stats.lookups >= 2
+        assert stats.unrestricted_lookups == 0
+
+    def test_unbound_first_atom_is_unrestricted(self, relations):
+        stats = EvaluationStats()
+        evaluate_body([parse_atom("a(X, Y)")], relations, stats=stats)
+        assert stats.unrestricted_lookups == 1
+
+
+class TestPlanOrder:
+    def test_bound_atoms_come_first(self, relations):
+        atoms = [parse_atom("b(Z, Y)"), parse_atom("a(X, Z)")]
+        order = plan_order(atoms, {Variable("X")}, relations)
+        assert order[0] == 1  # a(X, Z) has a bound argument
+
+    def test_order_is_a_permutation(self, relations):
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(Z, Y)"), parse_atom("p(X)")]
+        order = plan_order(atoms, set(), relations)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_constants_count_as_bound(self, relations):
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(4, Y)")]
+        order = plan_order(atoms, set(), relations)
+        assert order[0] == 1
+
+
+class TestEvaluateRule:
+    def test_head_projection(self, relations):
+        rule = parse_rule("reach(X, Y) :- a(X, Z), b(Z, Y).")
+        assert evaluate_rule(rule, relations) == {(3, 5), (1, 9)}
+
+    def test_head_constants(self, relations):
+        rule = parse_rule("tagged(X, special) :- p(X).")
+        assert evaluate_rule(rule, relations) == {(2, "special"), (3, "special")}
+
+    def test_unbound_head_variable_produces_nothing(self, relations):
+        rule = parse_rule("weird(X, Q) :- p(X).")
+        assert evaluate_rule(rule, relations) == set()
+
+    def test_delta_evaluation_restricts_one_occurrence(self, relations):
+        rule = parse_rule("t(X, Y) :- a(X, Z), t(Z, Y).")
+        full_t = Relation("t", 2, [(2, 9), (4, 5)])
+        delta = Relation("t", 2, [(4, 5)])
+        with_delta = evaluate_rule_with_delta(rule, {**relations, "t": full_t}, "t", delta)
+        assert with_delta == {(3, 5)}
+        without_delta = evaluate_rule_with_delta(rule, {**relations, "t": full_t}, "t", full_t)
+        assert without_delta == {(3, 5), (1, 9)}
+
+
+class TestEvaluateBodyProject:
+    def test_projection_onto_variables(self, relations):
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(Z, Y)")]
+        projected = evaluate_body_project(atoms, relations, [Variable("Y"), Variable("X")])
+        assert projected == {(5, 3), (9, 1)}
+
+    def test_unbound_output_variable_becomes_none(self, relations):
+        projected = evaluate_body_project([parse_atom("p(X)")], relations, [Variable("X"), Variable("Missing")])
+        assert projected == {(2, None), (3, None)}
+
+    def test_as_relation_wraps_tuples(self):
+        relation = as_relation("tmp", 2, {(1, 2), (3, 4)})
+        assert relation.arity == 2
+        assert set(relation.lookup({0: 1})) == {(1, 2)}
+
+
+class TestRandomisedAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=15),
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=15),
+    )
+    def test_two_atom_join_matches_brute_force(self, a_rows, b_rows):
+        relations = {"a": Relation("a", 2, a_rows), "b": Relation("b", 2, b_rows)}
+        atoms = [parse_atom("a(X, Z)"), parse_atom("b(Z, Y)")]
+        fast = evaluate_body(atoms, relations)
+        fast_set = {tuple(sorted(x.items(), key=lambda kv: str(kv[0]))) for x in fast}
+        assert fast_set == brute_force(atoms, relations)

@@ -1,0 +1,95 @@
+"""Unit tests for :mod:`repro.datalog.database`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import Database, SchemaError
+from repro.datalog.atoms import Atom, fact
+from repro.datalog.relation import Relation
+
+
+class TestConstruction:
+    def test_from_dict_infers_arity(self):
+        database = Database.from_dict({"a": [(1, 2)], "c": [(3,)]})
+        assert database.relation("a").arity == 2
+        assert database.relation("c").arity == 1
+
+    def test_from_dict_rejects_empty_relations(self):
+        with pytest.raises(SchemaError):
+            Database.from_dict({"a": []})
+
+    def test_from_facts(self):
+        database = Database.from_facts([fact("edge", (1, 2)), fact("edge", (2, 3))])
+        assert len(database.relation("edge")) == 2
+
+    def test_add_fact_atom_requires_ground(self):
+        database = Database()
+        with pytest.raises(SchemaError):
+            database.add_fact_atom(Atom.of("edge", "X", 2))
+
+    def test_declare_is_idempotent(self):
+        database = Database()
+        first = database.declare("a", 2)
+        second = database.declare("a", 2)
+        assert first is second
+        with pytest.raises(SchemaError):
+            database.declare("a", 3)
+
+    def test_add_fact_creates_relation(self):
+        database = Database()
+        database.add_fact("a", (1, 2))
+        assert database.has_relation("a")
+        assert (1, 2) in database.relation("a")
+
+
+class TestAccess:
+    def test_relation_raises_on_unknown(self):
+        with pytest.raises(SchemaError):
+            Database().relation("nope")
+
+    def test_relation_or_empty(self):
+        database = Database()
+        relation = database.relation_or_empty("ghost", 3)
+        assert relation.arity == 3
+        assert relation.is_empty()
+
+    def test_names_and_len(self):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(1, 2)]})
+        assert database.names() == {"a", "b"}
+        assert len(database) == 2
+        assert "a" in database
+
+
+class TestWholeDatabaseOperations:
+    def test_copy_is_deep(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        clone = database.copy()
+        clone.add_fact("a", (3, 4))
+        assert (3, 4) not in database.relation("a")
+
+    def test_total_tuples_and_active_domain(self):
+        database = Database.from_dict({"a": [(1, 2), (2, 3)], "c": [(9,)]})
+        assert database.total_tuples() == 3
+        assert database.active_domain() == {1, 2, 3, 9}
+
+    def test_facts_round_trip(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        facts = database.facts()
+        rebuilt = Database.from_facts(facts)
+        assert rebuilt.relation("a").rows() == database.relation("a").rows()
+
+    def test_merge(self):
+        left = Database.from_dict({"a": [(1, 2)]})
+        right = Database.from_dict({"a": [(3, 4)], "b": [(5, 6)]})
+        merged = left.merge(right)
+        assert len(merged.relation("a")) == 2
+        assert len(merged.relation("b")) == 1
+        # inputs untouched
+        assert len(left.relation("a")) == 1
+
+    def test_merge_rejects_arity_conflicts(self):
+        left = Database.from_dict({"a": [(1, 2)]})
+        right = Database.from_dict({"a": [(1, 2, 3)]})
+        with pytest.raises(SchemaError):
+            left.merge(right)

@@ -1,0 +1,127 @@
+"""Tests for the magic-sets baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import magic_query, magic_rewrite
+from repro.datalog import Database, EvaluationError, parse_program
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import (
+    canonical_two_sided,
+    edge_database,
+    example_3_4,
+    random_pairs,
+    relations_database,
+    same_generation,
+    same_generation_database,
+    tc_with_permissions,
+    transitive_closure,
+)
+
+
+class TestRewriting:
+    def test_adorned_and_magic_rules_for_tc(self, tc_program):
+        query = SelectionQuery.of("t", 2, {0: 1})
+        rewriting = magic_rewrite(tc_program, query)
+        rendered = {str(rule) for rule in rewriting.rewritten.rules}
+        assert "magic__t__bf(Z) :- magic__t__bf(X), a(X, Z)." in rendered
+        assert "t__bf(X, Y) :- magic__t__bf(X), a(X, Z), t__bf(Z, Y)." in rendered
+        assert "t__bf(X, Y) :- magic__t__bf(X), b(X, Y)." in rendered
+        assert rewriting.seed_predicate == "magic__t__bf"
+        assert rewriting.seed_tuple == (1,)
+
+    def test_bound_second_column_adornment(self, tc_program):
+        query = SelectionQuery.of("t", 2, {1: 9})
+        rewriting = magic_rewrite(tc_program, query)
+        assert rewriting.answer_predicate == "t__fb"
+        assert ("t", "fb") in rewriting.adorned_predicates
+
+    def test_requires_idb_predicate(self, tc_program):
+        with pytest.raises(EvaluationError):
+            magic_rewrite(tc_program, SelectionQuery.of("a", 2, {0: 1}))
+
+    def test_requires_bound_column(self, tc_program):
+        with pytest.raises(EvaluationError):
+            magic_rewrite(tc_program, SelectionQuery.of("t", 2, {}))
+
+    def test_rule_count_reported(self, tc_program):
+        rewriting = magic_rewrite(tc_program, SelectionQuery.of("t", 2, {0: 1}))
+        assert rewriting.rule_count == 3
+
+
+class TestEvaluation:
+    def test_tc_bound_first_column(self, tc_program, chain_db):
+        result = magic_query(tc_program, chain_db, SelectionQuery.of("t", 2, {0: 0}))
+        assert result.answers == {(0, 100)}
+        assert result.strategy == "magic-sets"
+        assert result.stats.extra["magic_rules"] == 3
+
+    def test_tc_bound_second_column(self, tc_program, chain_db):
+        result = magic_query(tc_program, chain_db, SelectionQuery.of("t", 2, {1: 100}))
+        reference, _ = seminaive_query(tc_program, chain_db, "t", {1: 100})
+        assert result.answers == reference
+
+    def test_unbound_query_falls_back_to_seminaive(self, tc_program, chain_db):
+        result = magic_query(tc_program, chain_db, SelectionQuery.of("t", 2, {}))
+        reference, _ = seminaive_query(tc_program, chain_db, "t")
+        assert result.answers == reference
+        assert "seminaive" in result.strategy
+
+    def test_magic_restricts_work_on_disconnected_data(self, tc_program):
+        connected = [(i, i + 1) for i in range(10)]
+        far_away = [(100 + i, 101 + i) for i in range(200)]
+        database = edge_database(connected + far_away)
+        magic = magic_query(tc_program, database, SelectionQuery.of("t", 2, {0: 0}))
+        _full, full_stats = seminaive_query(tc_program, database, "t", {0: 0})
+        assert magic.stats.tuples_examined < full_stats.tuples_examined
+
+    def test_same_generation_with_repeated_predicates(self):
+        program = same_generation()
+        database = same_generation_database(branching=2, depth=4)
+        query = SelectionQuery.of("sg", 2, {0: 3})
+        result = magic_query(program, database, query)
+        reference, _ = seminaive_query(program, database, "sg", {0: 3})
+        assert result.answers == reference
+
+    def test_ternary_example_3_4(self, rng):
+        program = example_3_4()
+        database = relations_database(
+            e=random_pairs(20, 8, seed=21),
+            d=[(value,) for value in range(4)],
+            t0=[(rng.randrange(8), rng.randrange(8), rng.randrange(8)) for _ in range(10)],
+        )
+        query = SelectionQuery.of("t", 3, {1: 2})
+        result = magic_query(program, database, query)
+        reference, _ = seminaive_query(program, database, "t", {1: 2})
+        assert result.answers == reference
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([0, 1]), st.integers(0, 7))
+    def test_matches_seminaive_on_two_sided_property(self, seed, column, constant):
+        program = canonical_two_sided()
+        database = relations_database(
+            a=random_pairs(15, 8, seed=seed),
+            b=random_pairs(6, 8, seed=seed + 1),
+            c=random_pairs(15, 8, seed=seed + 2),
+        )
+        query = SelectionQuery.of("t", 2, {column: constant})
+        result = magic_query(program, database, query)
+        reference, _ = seminaive_query(program, database, "t", {column: constant})
+        assert result.answers == reference
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 9))
+    def test_matches_seminaive_on_permissions_property(self, seed, constant):
+        from repro.workloads import permissions_database, random_graph
+
+        program = tc_with_permissions()
+        database = permissions_database(random_graph(8, 14, seed=seed), seed=seed)
+        query = SelectionQuery.of("t", 2, {0: constant})
+        result = magic_query(program, database, query)
+        reference, _ = seminaive_query(program, database, "t", {0: constant})
+        assert result.answers == reference

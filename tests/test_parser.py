@@ -1,0 +1,124 @@
+"""Unit tests for the Prolog-syntax parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import ParseError, parse_atom, parse_program, parse_query, parse_rule
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import split_facts
+from repro.datalog.terms import Constant, Variable
+
+
+class TestParseRule:
+    def test_recursive_rule(self):
+        rule = parse_rule("t(X, Y) :- a(X, Z), t(Z, Y).")
+        assert rule.head == Atom.of("t", "X", "Y")
+        assert rule.body == (Atom.of("a", "X", "Z"), Atom.of("t", "Z", "Y"))
+
+    def test_fact(self):
+        rule = parse_rule("edge(1, 2).")
+        assert rule.is_fact
+        assert rule.head == Atom("edge", (Constant(1), Constant(2)))
+
+    def test_quoted_and_numeric_constants(self):
+        rule = parse_rule("likes('Alice', 3, 2.5).")
+        assert rule.head.args == (Constant("Alice"), Constant(3), Constant(2.5))
+
+    def test_lowercase_constants_in_body(self):
+        rule = parse_rule("t(X) :- a(X, paris).")
+        assert rule.body[0].args == (Variable("X"), Constant("paris"))
+
+    def test_nullary_predicate(self):
+        rule = parse_rule("halt :- condition.")
+        assert rule.head == Atom("halt", ())
+        assert rule.body == (Atom("condition", ()),)
+
+    def test_missing_period_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_rule("t(X, Y) :- a(X, Y)")
+
+    def test_trailing_garbage_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_rule("t(X). extra")
+
+    def test_unterminated_quote_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_rule("t('oops.")
+
+    def test_query_rejected_where_rule_expected(self):
+        with pytest.raises(ParseError):
+            parse_rule("t(X, Y)?")
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("t(X, ) :- a(X).")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column > 1
+
+
+class TestParseProgram:
+    def test_multiple_rules_and_comments(self):
+        program = parse_program(
+            """
+            % the canonical one-sided recursion
+            t(X, Y) :- a(X, Z), t(Z, Y).
+            t(X, Y) :- b(X, Y).   % exit rule
+            """
+        )
+        assert len(program.rules) == 2
+        assert program.idb_predicates() == {"t"}
+
+    def test_facts_inside_programs(self):
+        program = parse_program("edge(1, 2). edge(2, 3). path(X, Y) :- edge(X, Y).")
+        rules, facts = split_facts(program)
+        assert len(rules.rules) == 1
+        assert len(facts) == 2
+
+    def test_empty_program(self):
+        assert parse_program("  % nothing here\n").rules == ()
+
+    def test_query_inside_program_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_program("t(X, Y) :- a(X, Y). t(1, Y)?")
+
+
+class TestParseQueryAndAtom:
+    def test_query_with_question_mark(self):
+        atom = parse_query("t(1, Y)?")
+        assert atom == Atom("t", (Constant(1), Variable("Y")))
+
+    def test_query_without_terminator(self):
+        assert parse_query("t(1, Y)") == Atom("t", (Constant(1), Variable("Y")))
+
+    def test_parse_atom(self):
+        assert parse_atom("a(X, Z)") == Atom.of("a", "X", "Z")
+        assert parse_atom("a(X, Z).") == Atom.of("a", "X", "Z")
+
+    def test_query_must_be_single_atom(self):
+        with pytest.raises(ParseError):
+            parse_query("t(1, Y) :- a(1, Y)?")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "t(X, Y) :- a(X, Z), t(Z, Y).",
+            "t(X, Y) :- b(X, Y).",
+            "sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).",
+            "buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).",
+            "q(X1, X2, X3) :- q(X1, X2, W), e(W, X3).",
+        ],
+    )
+    def test_str_then_parse_is_identity(self, text):
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule
+
+    def test_paper_programs_parse(self):
+        from repro.workloads import ALL_CANONICAL
+
+        for factory in ALL_CANONICAL.values():
+            program = factory()
+            assert program.rules
+            assert parse_program(str(program)) == program

@@ -1,0 +1,96 @@
+"""Tests for the complete detection pipeline (Theorem 3.4's procedure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import detect_one_sided
+from repro.datalog import parse_program
+from repro.workloads import (
+    appendix_a_p,
+    buys_optimized,
+    buys_unoptimized,
+    canonical_two_sided,
+    example_3_5,
+    nonlinear_tc,
+    same_generation,
+    same_generation_distinct_parents,
+    tc_with_permissions,
+    transitive_closure,
+)
+
+
+class TestPositiveCases:
+    def test_transitive_closure_detected(self):
+        outcome = detect_one_sided(transitive_closure(), "t")
+        assert outcome.one_sided
+        assert outcome.verdict_is_complete
+        assert outcome.uniformly_bounded is False
+
+    def test_buys_detected_after_optimization(self):
+        """Section 3: redundancy removal turns the two-sided buys into one-sided form."""
+        outcome = detect_one_sided(buys_unoptimized(), "buys")
+        assert outcome.one_sided
+        assert outcome.redundancy is not None and outcome.redundancy.changed
+        assert outcome.optimized == buys_optimized()
+        assert any("cheap" in note for note in outcome.notes)
+
+    def test_permissions_recursion_detected(self):
+        assert detect_one_sided(tc_with_permissions(), "t").one_sided
+
+
+class TestNegativeCases:
+    def test_canonical_two_sided_refuted_completely(self):
+        """Theorem 3.4 applies: no uniformly equivalent one-sided definition exists."""
+        outcome = detect_one_sided(canonical_two_sided(), "t")
+        assert not outcome.one_sided
+        assert outcome.verdict_is_complete
+        assert any("Theorem 3.4" in note for note in outcome.notes)
+
+    def test_example_3_5_refuted_completely(self):
+        outcome = detect_one_sided(example_3_5(), "t")
+        assert not outcome.one_sided
+        assert outcome.verdict_is_complete
+
+    def test_distinct_parent_same_generation_refuted_completely(self):
+        outcome = detect_one_sided(same_generation_distinct_parents(), "sg")
+        assert not outcome.one_sided
+        assert outcome.verdict_is_complete
+
+    def test_repeated_predicates_weaken_the_verdict(self):
+        """The paper's same-generation rule repeats p, so Theorem 3.4 does not apply."""
+        outcome = detect_one_sided(same_generation(), "sg")
+        assert not outcome.one_sided
+        assert not outcome.verdict_is_complete
+        assert any("repeats a nonrecursive predicate" in note for note in outcome.notes)
+
+
+class TestBoundaryCases:
+    def test_bounded_recursion_is_reported(self):
+        outcome = detect_one_sided(appendix_a_p(), "p")
+        assert outcome.uniformly_bounded is True
+        assert any("uniformly bounded" in note for note in outcome.notes)
+
+    def test_nonlinear_recursion_is_out_of_scope(self):
+        outcome = detect_one_sided(nonlinear_tc(), "t")
+        assert not outcome.one_sided
+        assert not outcome.verdict_is_complete
+        assert outcome.report is None
+
+    def test_multiple_recursive_rules_out_of_scope(self):
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, Z), t(Z, Y).
+            t(X, Y) :- c(X, Z), t(Z, Y).
+            t(X, Y) :- b(X, Y).
+            """
+        )
+        outcome = detect_one_sided(program, "t")
+        assert not outcome.one_sided
+        assert outcome.report is None
+        assert "undecidable" in " ".join(outcome.notes)
+
+    def test_str_summarises_outcome(self):
+        text = str(detect_one_sided(transitive_closure(), "t"))
+        assert "one-sided" in text
+        assert "complete" in text

@@ -1,0 +1,131 @@
+"""Tests for proof extraction and the Lemma 4.1 / 4.2 separation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    column_repetition_width,
+    find_proof,
+    lossy_unary_carry_evaluation,
+    max_repetition_width,
+)
+from repro.datalog import Database
+from repro.engine import seminaive_query
+from repro.workloads import (
+    canonical_two_sided,
+    chain,
+    edge_database,
+    layered_dag,
+    lemma_4_2_database,
+    transitive_closure,
+)
+
+
+class TestFindProof:
+    def test_depth_zero_proof(self, tc_program):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(5, 6)]})
+        proof = find_proof(tc_program, "t", (5, 6), database)
+        assert proof is not None
+        assert proof.depth == 0
+        assert [str(fact) for fact in proof.facts] == ["b(5, 6)"]
+
+    def test_chain_proof_lists_every_edge(self, tc_program, chain_db):
+        proof = find_proof(tc_program, "t", (0, 100), chain_db)
+        assert proof is not None
+        assert proof.depth == 6
+        assert len(proof.facts_for("a")) == 6
+        assert len(proof.facts_for("b")) == 1
+
+    def test_underivable_tuple_has_no_proof(self, tc_program, chain_db):
+        assert find_proof(tc_program, "t", (100, 0), chain_db, max_depth=10) is None
+
+    def test_proof_is_shallowest(self, tc_program):
+        # 1 -> 4 directly and via 2, 3; the shallowest proof uses the direct base edge
+        database = Database.from_dict({"a": [(1, 2), (2, 3), (3, 4)], "b": [(3, 4), (1, 4)]})
+        proof = find_proof(tc_program, "t", (1, 4), database)
+        assert proof is not None
+        assert proof.depth == 0
+
+    def test_proof_facts_are_database_facts(self, tc_program, small_graph_db):
+        answers, _ = seminaive_query(tc_program, small_graph_db, "t")
+        some_tuple = sorted(answers)[len(answers) // 2]
+        proof = find_proof(tc_program, "t", some_tuple, small_graph_db)
+        assert proof is not None
+        for fact in proof.facts:
+            values = tuple(arg.value for arg in fact.args)
+            assert values in small_graph_db.relation(fact.predicate)
+
+
+class TestLemma41:
+    """One-sided: shallowest proofs never repeat a constant in a column of a."""
+
+    def test_chain_width_is_one(self, tc_program, chain_db):
+        assert max_repetition_width(tc_program, "t", "a", chain_db) == 1
+
+    def test_dag_width_is_one(self, tc_program):
+        database = edge_database(layered_dag(5, 3, 2, seed=9))
+        assert max_repetition_width(tc_program, "t", "a", database) == 1
+
+    def test_width_of_single_proof(self, tc_program, chain_db):
+        proof = find_proof(tc_program, "t", (0, 100), chain_db)
+        assert column_repetition_width(proof, "a") == 1
+        assert column_repetition_width(proof, "missing") == 0
+
+
+class TestLemma42:
+    """Two-sided: the adversarial family forces k repetitions."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 6])
+    def test_width_grows_with_k(self, k):
+        database, target = lemma_4_2_database(k)
+        program = canonical_two_sided()
+        answers, _ = seminaive_query(program, database, "t")
+        assert target in answers
+        width = max_repetition_width(program, "t", "a", database, tuples=[target])
+        assert width == k
+
+    def test_database_shape(self):
+        database, target = lemma_4_2_database(3)
+        assert len(database.relation("a")) == 1
+        assert len(database.relation("b")) == 1
+        assert len(database.relation("c")) == 6
+        assert target == ("v1", "v3")
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            lemma_4_2_database(0)
+
+
+class TestLossyUnaryCarry:
+    """The Property-2-only algorithm is exact on one-sided-like data but lossy on Lemma 4.2."""
+
+    def test_exact_on_acyclic_chain_data(self):
+        database = Database.from_dict(
+            {
+                "a": chain(5),
+                "b": [(5, "z0")],
+                "c": [(f"z{i}" if i else "z0", f"z{i + 1}") for i in range(7)],
+            }
+        )
+        program = canonical_two_sided()
+        reference, _ = seminaive_query(program, database, "t", {0: 0})
+        lossy, _ = lossy_unary_carry_evaluation(database, 0)
+        assert lossy == {row[1] for row in reference}
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_loses_answers_on_lemma_4_2_family(self, k):
+        database, target = lemma_4_2_database(k)
+        program = canonical_two_sided()
+        reference, _ = seminaive_query(program, database, "t", {0: "v1"})
+        reference_values = {row[1] for row in reference}
+        lossy, stats = lossy_unary_carry_evaluation(database, "v1")
+        assert lossy < reference_values  # strictly incomplete
+        assert target[1] not in lossy  # in particular the Lemma 4.2 witness is missed
+        assert stats.extra["carry_arity"] == 1  # it really did respect Property 2
+
+    def test_never_invents_answers_on_this_family(self):
+        database, _target = lemma_4_2_database(4)
+        reference, _ = seminaive_query(canonical_two_sided(), database, "t", {0: "v1"})
+        lossy, _ = lossy_unary_carry_evaluation(database, "v1")
+        assert lossy <= {row[1] for row in reference}

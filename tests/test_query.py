@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.engine.query`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import EvaluationError, parse_query
+from repro.engine.instrumentation import EvaluationStats
+from repro.engine.query import QueryResult, SelectionQuery
+
+
+class TestSelectionQuery:
+    def test_of_builds_sorted_bindings(self):
+        query = SelectionQuery.of("t", 3, {2: "x", 0: 1})
+        assert query.bindings == ((0, 1), (2, "x"))
+        assert query.bound_columns() == (0, 2)
+        assert query.free_columns() == (1,)
+
+    def test_of_rejects_out_of_range_columns(self):
+        with pytest.raises(EvaluationError):
+            SelectionQuery.of("t", 2, {5: 1})
+
+    def test_from_atom(self):
+        query = SelectionQuery.from_atom(parse_query("t(1, Y)?"))
+        assert query.predicate == "t"
+        assert query.bindings_dict() == {0: 1}
+        assert query.free_columns() == (1,)
+
+    def test_from_atom_all_free(self):
+        query = SelectionQuery.from_atom(parse_query("t(X, Y)?"))
+        assert query.bindings == ()
+        assert query.free_columns() == (0, 1)
+
+    def test_from_atom_rejects_repeated_variables(self):
+        with pytest.raises(EvaluationError):
+            SelectionQuery.from_atom(parse_query("t(X, X)?"))
+
+    def test_matches_and_select(self):
+        query = SelectionQuery.of("t", 2, {0: 1})
+        assert query.matches((1, 5))
+        assert not query.matches((2, 5))
+        assert query.select({(1, 5), (2, 5), (1, 6)}) == {(1, 5), (1, 6)}
+
+    def test_str_shows_constants_and_columns(self):
+        assert str(SelectionQuery.of("t", 2, {1: "n0"})) == "t(C0, n0)?"
+
+    def test_hashable(self):
+        assert SelectionQuery.of("t", 2, {0: 1}) == SelectionQuery.of("t", 2, {0: 1})
+        assert len({SelectionQuery.of("t", 2, {0: 1}), SelectionQuery.of("t", 2, {0: 2})}) == 2
+
+
+class TestQueryResult:
+    def test_len_and_projection(self):
+        query = SelectionQuery.of("t", 2, {0: 1})
+        result = QueryResult(query, {(1, 5), (1, 6)}, EvaluationStats(), strategy="test")
+        assert len(result) == 2
+        assert result.projected() == {(5,), (6,)}
+
+    def test_str_mentions_strategy(self):
+        query = SelectionQuery.of("t", 2, {0: 1})
+        result = QueryResult(query, set(), EvaluationStats(), strategy="one-sided-forward")
+        assert "one-sided-forward" in str(result)

@@ -1,0 +1,143 @@
+"""Tests for the Theorem 3.2 / Appendix A reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    classify,
+    extend_database_for_reduction,
+    one_sidedness_reduction,
+    project_first_two_columns,
+    reduce_nonrecursive_program,
+)
+from repro.datalog import ProgramError, parse_program
+from repro.engine import seminaive_query
+from repro.workloads import (
+    appendix_a_database,
+    appendix_a_p,
+    transitive_closure,
+    unbounded_p,
+    unbounded_p_database,
+)
+
+
+class TestConstruction:
+    def test_example_a_1_shape(self):
+        """The constructed Q matches the rules listed in Example A.1."""
+        reduction = one_sidedness_reduction(appendix_a_p(), "p")
+        rendered = {str(rule) for rule in reduction.target.rules}
+        assert rendered == {
+            "q(X1, X2, X3) :- c(X1), q(X1, X2, X3).",
+            "q(X1, X2, X3) :- c(X1), p0(X1, X2), b(X3).",
+            "q(X1, X2, X3) :- q(X1, X2, W), e(W, X3).",
+        }
+        assert reduction.target_predicate == "q"
+        assert reduction.witness_predicate == "b"
+        assert reduction.chain_predicate == "e"
+
+    def test_q_has_three_columns(self):
+        reduction = one_sidedness_reduction(appendix_a_p(), "p")
+        assert reduction.target.arity_of("q") == 3
+
+    def test_fresh_names_avoid_collisions(self):
+        program = parse_program(
+            """
+            p(X1, X2) :- b(X1), e(X1, X2), p(X1, X2).
+            p(X1, X2) :- q(X1, X2).
+            """
+        )
+        reduction = one_sidedness_reduction(program, "p")
+        assert reduction.target_predicate not in {"p", "b", "e", "q"}
+        assert reduction.witness_predicate not in {"b", "e", "q"}
+        assert reduction.chain_predicate not in {"b", "e", "q"}
+
+    def test_requires_binary_predicate(self):
+        program = parse_program("p(X) :- c(X). p(X) :- d(X), p(X).")
+        with pytest.raises(ProgramError):
+            one_sidedness_reduction(program, "p")
+
+    def test_requires_linear_rules(self):
+        program = parse_program("p(X, Y) :- p(X, Z), p(Z, Y). p(X, Y) :- e(X, Y).")
+        with pytest.raises(ProgramError):
+            one_sidedness_reduction(program, "p")
+
+    def test_reduce_nonrecursive_rejects_recursive_input(self):
+        with pytest.raises(ProgramError):
+            reduce_nonrecursive_program(appendix_a_p(), "p")
+
+
+class TestLemmaA1:
+    """With b nonempty, P and Q agree on the first two columns of q."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bounded_p(self, seed):
+        program = appendix_a_p()
+        reduction = one_sidedness_reduction(program, "p")
+        database = appendix_a_database(seed=seed)
+        extended = extend_database_for_reduction(database, reduction)
+        p_model, _ = seminaive_query(program, database, "p")
+        q_model, _ = seminaive_query(reduction.target, extended, "q")
+        assert project_first_two_columns(q_model) == p_model
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_unbounded_p(self, seed):
+        program = unbounded_p()
+        reduction = one_sidedness_reduction(program, "p")
+        database = unbounded_p_database(seed=seed)
+        extended = extend_database_for_reduction(database, reduction)
+        p_model, _ = seminaive_query(program, database, "p")
+        q_model, _ = seminaive_query(reduction.target, extended, reduction.target_predicate)
+        assert project_first_two_columns(q_model) == p_model
+
+    def test_third_column_ranges_over_the_e_chain(self):
+        reduction = one_sidedness_reduction(appendix_a_p(), "p")
+        database = appendix_a_database()
+        extended = extend_database_for_reduction(database, reduction, witness_values=("w0",), chain_length=2)
+        q_model, _ = seminaive_query(reduction.target, extended, "q")
+        thirds = {row[2] for row in q_model}
+        if q_model:
+            assert thirds <= {"w0", "w0_e1", "w0_e2"}
+            assert "w0" in thirds
+
+
+class TestTheorem32Direction:
+    """Bounded P => Q has a one-sided equivalent (Q' built from the nonrecursive P')."""
+
+    def test_q_prime_is_one_sided(self):
+        p_prime = parse_program("p(X1, X2) :- c(X1), p0(X1, X2).")
+        reduction = reduce_nonrecursive_program(p_prime, "p")
+        report = classify(reduction.target, reduction.target_predicate)
+        assert report.is_one_sided
+
+    def test_q_and_q_prime_agree_on_data(self):
+        """Lemma A.3, checked empirically: Q and Q' define the same relation."""
+        q = one_sidedness_reduction(appendix_a_p(), "p")
+        q_prime = reduce_nonrecursive_program(parse_program("p(X1, X2) :- c(X1), p0(X1, X2)."), "p")
+        database = appendix_a_database(seed=5)
+        q_model, _ = seminaive_query(q.target, extend_database_for_reduction(database, q), "q")
+        q_prime_model, _ = seminaive_query(
+            q_prime.target, extend_database_for_reduction(database, q_prime), q_prime.target_predicate
+        )
+        assert q_model == q_prime_model
+
+    def test_reduction_of_unbounded_p_keeps_two_growing_sides(self):
+        """For an unbounded P (a transitive closure), Q's expansion keeps both the
+        original chain and the new e-chain growing, so no single-rule one-sided
+        reformulation of Q's own rules exists (the Theorem 3.2 direction we can
+        observe without deciding equivalence)."""
+        from repro.expansion import expand_general
+        from repro.expansion.connected import connected_sets
+
+        reduction = one_sidedness_reduction(unbounded_p(), "p")
+        strings = expand_general(reduction.target, reduction.target_predicate, max_applications=6, max_strings=200)
+        # find a string that used both the original recursion and the new rule
+        widest = 0
+        for string in strings:
+            r_count = sum(1 for atom in string.atoms if atom.predicate == "r")
+            e_count = sum(1 for atom in string.atoms if atom.predicate == reduction.chain_predicate)
+            if r_count >= 2 and e_count >= 2:
+                groups = connected_sets(string, include_exit=True)
+                big = [g for g in groups if len(g) >= 2]
+                widest = max(widest, len(big))
+        assert widest >= 2

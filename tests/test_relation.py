@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.datalog.relation`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog import SchemaError
+from repro.datalog.relation import Relation
+
+
+@pytest.fixture
+def edges() -> Relation:
+    return Relation("edge", 2, [(1, 2), (2, 3), (1, 3), (3, 1)])
+
+
+class TestBasics:
+    def test_len_iter_contains(self, edges):
+        assert len(edges) == 4
+        assert (1, 2) in edges
+        assert (9, 9) not in edges
+        assert set(edges) == {(1, 2), (2, 3), (1, 3), (3, 1)}
+
+    def test_add_reports_novelty(self, edges):
+        assert edges.add((5, 6)) is True
+        assert edges.add((5, 6)) is False
+        assert len(edges) == 5
+
+    def test_add_all_counts_new(self, edges):
+        assert edges.add_all([(1, 2), (7, 8), (8, 9)]) == 2
+
+    def test_arity_enforced(self, edges):
+        with pytest.raises(SchemaError):
+            edges.add((1, 2, 3))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("bad", -1)
+
+    def test_discard(self, edges):
+        edges.discard((1, 2))
+        assert (1, 2) not in edges
+        edges.discard((1, 2))  # idempotent
+
+    def test_copy_is_independent(self, edges):
+        clone = edges.copy()
+        clone.add((9, 9))
+        assert (9, 9) not in edges
+
+    def test_is_empty(self):
+        assert Relation("empty", 2).is_empty()
+
+    def test_column_values(self, edges):
+        assert edges.column_values(0) == {1, 2, 3}
+        assert edges.column_values(1) == {1, 2, 3}
+
+    def test_equality(self):
+        assert Relation("r", 2, [(1, 2)]) == Relation("r", 2, [(1, 2)])
+        assert Relation("r", 2, [(1, 2)]) != Relation("r", 2, [(1, 3)])
+
+
+class TestLookup:
+    def test_unrestricted_lookup_returns_everything(self, edges):
+        assert set(edges.lookup({})) == set(edges)
+
+    def test_single_column_lookup(self, edges):
+        assert set(edges.lookup({0: 1})) == {(1, 2), (1, 3)}
+
+    def test_two_column_lookup(self, edges):
+        assert edges.lookup({0: 1, 1: 3}) == [(1, 3)]
+
+    def test_missing_value_gives_empty(self, edges):
+        assert edges.lookup({0: 42}) == []
+
+    def test_out_of_range_column_rejected(self, edges):
+        with pytest.raises(SchemaError):
+            edges.lookup({5: 1})
+
+    def test_index_stays_fresh_after_insert(self, edges):
+        assert set(edges.lookup({0: 9})) == set()
+        edges.add((9, 10))
+        assert set(edges.lookup({0: 9})) == {(9, 10)}
+
+    def test_project(self, edges):
+        assert edges.project([0]) == {(1,), (2,), (3,)}
+        assert edges.project([1, 0]) == {(2, 1), (3, 2), (3, 1), (1, 3)}
+
+
+class TestLookupProperties:
+    @given(
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=40),
+        st.integers(0, 5),
+        st.integers(0, 1),
+    )
+    def test_lookup_matches_filter_semantics(self, rows, value, column):
+        relation = Relation("r", 2, rows)
+        via_index = set(relation.lookup({column: value}))
+        via_filter = {row for row in rows if row[column] == value}
+        assert via_index == via_filter
+
+    @given(st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=20))
+    def test_lookup_results_are_subsets_of_rows(self, rows):
+        relation = Relation("r", 2, rows)
+        for value in range(4):
+            assert set(relation.lookup({0: value})) <= set(rows)

@@ -1,0 +1,62 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis import format_cell, format_comparison, format_table, stats_row
+from repro.engine import EvaluationStats
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_booleans(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_integers_use_thousands_separators(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_floats_use_three_significant_digits(self):
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1,234"
+
+    def test_strings_pass_through(self):
+        assert format_cell("magic") == "magic"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["strategy", "tuples"],
+            [["one-sided", 10], ["semi-naive", 1000]],
+            title="E2",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "E2"
+        assert lines[1].startswith("strategy")
+        assert "1,000" in table
+        # all data lines have the same width
+        assert len(set(len(line) for line in lines[2:])) == 1
+
+    def test_handles_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestComparisonAndRows:
+    def test_comparison_direction(self):
+        text = format_comparison("one-sided vs semi-naive", baseline=100, candidate=10)
+        assert "10" in text and "less" in text
+        text = format_comparison("worse", baseline=10, candidate=100)
+        assert "more" in text
+
+    def test_comparison_zero_cases(self):
+        assert "0" in format_comparison("empty", 0, 0)
+        assert "candidate reports 0" in format_comparison("free", 50, 0)
+
+    def test_stats_row_extracts_keys(self):
+        stats = EvaluationStats(tuples_examined=5, iterations=2)
+        row = stats_row("semi-naive", stats.as_dict(), ["tuples_examined", "iterations", "missing"])
+        assert row == ["semi-naive", 5, 2, None]

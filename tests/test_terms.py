@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.datalog.terms`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    fresh_variable,
+    is_constant,
+    is_variable,
+    make_term,
+)
+
+
+class TestVariable:
+    def test_str_without_subscript(self):
+        assert str(Variable("X")) == "X"
+
+    def test_str_with_subscript(self):
+        assert str(Variable("W", 3)) == "W_3"
+
+    def test_with_subscript_returns_new_variable(self):
+        base = Variable("W")
+        subscripted = base.with_subscript(2)
+        assert subscripted == Variable("W", 2)
+        assert base == Variable("W")
+
+    def test_base_strips_subscript(self):
+        assert Variable("W", 5).base() == Variable("W")
+
+    def test_equality_includes_subscript(self):
+        assert Variable("W", 1) != Variable("W", 2)
+        assert Variable("W", 1) != Variable("W")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {Variable("X"): 1, Variable("X", 1): 2}
+        assert mapping[Variable("X")] == 1
+        assert mapping[Variable("X", 1)] == 2
+
+    def test_ordering_is_total(self):
+        variables = [Variable("Z"), Variable("A", 2), Variable("A")]
+        assert sorted(variables) == sorted(variables, key=lambda v: (v.name, v.subscript is not None, v.subscript or 0)) or len(sorted(variables)) == 3
+
+
+class TestConstant:
+    def test_str(self):
+        assert str(Constant("paris")) == "paris"
+        assert str(Constant(42)) == "42"
+
+    def test_value_equality(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("1") != Constant(1)
+
+
+class TestMakeTerm:
+    def test_uppercase_string_becomes_variable(self):
+        assert make_term("X") == Variable("X")
+        assert make_term("Widget") == Variable("Widget")
+
+    def test_underscore_becomes_variable(self):
+        assert is_variable(make_term("_anything"))
+
+    def test_lowercase_string_becomes_constant(self):
+        assert make_term("paris") == Constant("paris")
+
+    def test_numbers_become_constants(self):
+        assert make_term(3) == Constant(3)
+        assert make_term(2.5) == Constant(2.5)
+
+    def test_existing_terms_pass_through(self):
+        variable = Variable("X")
+        constant = Constant(7)
+        assert make_term(variable) is variable
+        assert make_term(constant) is constant
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            make_term(object())
+
+    def test_predicates(self):
+        assert is_variable(Variable("X")) and not is_constant(Variable("X"))
+        assert is_constant(Constant(1)) and not is_variable(Constant(1))
+
+
+class TestFreshVariable:
+    def test_returns_base_name_when_free(self):
+        assert fresh_variable("W", set()) == Variable("W")
+
+    def test_avoids_taken_names(self):
+        taken = {Variable("W"), Variable("W1")}
+        fresh = fresh_variable("W", taken)
+        assert fresh not in taken
+        assert fresh.name.startswith("W")
+
+    @given(st.sets(st.integers(min_value=1, max_value=30), max_size=30))
+    def test_never_collides(self, indexes):
+        taken = {Variable("V")} | {Variable(f"V{i}") for i in indexes}
+        fresh = fresh_variable("V", taken)
+        assert fresh not in taken

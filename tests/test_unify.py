@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.datalog.unify`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import (
+    apply_to_atom,
+    apply_to_term,
+    compose,
+    match_atom,
+    rename_apart,
+    unify_atoms,
+    unify_terms,
+)
+
+
+class TestUnifyTerms:
+    def test_identical_constants(self):
+        assert unify_terms(Constant(1), Constant(1)) == {}
+
+    def test_distinct_constants_fail(self):
+        assert unify_terms(Constant(1), Constant(2)) is None
+
+    def test_variable_binds_to_constant(self):
+        assert unify_terms(Variable("X"), Constant(1)) == {Variable("X"): Constant(1)}
+
+    def test_constant_binds_variable_on_right(self):
+        assert unify_terms(Constant(1), Variable("X")) == {Variable("X"): Constant(1)}
+
+    def test_respects_existing_bindings(self):
+        existing = {Variable("X"): Constant(1)}
+        assert unify_terms(Variable("X"), Constant(2), existing) is None
+        assert unify_terms(Variable("X"), Constant(1), existing) == existing
+
+
+class TestUnifyAtoms:
+    def test_different_predicates_fail(self):
+        assert unify_atoms(Atom.of("a", "X"), Atom.of("b", "X")) is None
+
+    def test_different_arities_fail(self):
+        assert unify_atoms(Atom.of("a", "X"), Atom.of("a", "X", "Y")) is None
+
+    def test_head_matching_is_a_renaming(self):
+        head = Atom.of("t", "X", "Y")
+        instance = Atom.of("t", "Z", "W")
+        unifier = unify_atoms(head, instance)
+        assert unifier is not None
+        assert apply_to_atom(unifier, head) == apply_to_atom(unifier, instance)
+
+    def test_repeated_variable_forces_equality(self):
+        unifier = unify_atoms(Atom.of("p", "X", "X"), Atom.of("p", 1, "Y"))
+        assert unifier is not None
+        assert apply_to_term(unifier, Variable("Y")) == Constant(1)
+
+    def test_unifier_makes_atoms_equal(self):
+        left = Atom.of("p", "X", 2, "Z")
+        right = Atom.of("p", 1, "Y", "Z")
+        unifier = unify_atoms(left, right)
+        assert unifier is not None
+        assert apply_to_atom(unifier, left) == apply_to_atom(unifier, right)
+
+    def test_clashing_constants_fail(self):
+        assert unify_atoms(Atom.of("p", 1, "X"), Atom.of("p", 2, "Y")) is None
+
+
+class TestMatchAtom:
+    def test_match_binds_only_pattern_variables(self):
+        pattern = Atom.of("a", "X", "Y")
+        target = Atom.of("a", 1, "Z")
+        match = match_atom(pattern, target)
+        assert match == {Variable("X"): Constant(1), Variable("Y"): Variable("Z")}
+
+    def test_match_fails_on_constant_mismatch(self):
+        assert match_atom(Atom.of("a", 1), Atom.of("a", 2)) is None
+
+    def test_match_requires_consistent_repeats(self):
+        assert match_atom(Atom.of("a", "X", "X"), Atom.of("a", 1, 2)) is None
+        assert match_atom(Atom.of("a", "X", "X"), Atom.of("a", 1, 1)) is not None
+
+
+class TestCompose:
+    def test_compose_applies_in_sequence(self):
+        first = {Variable("X"): Variable("Y")}
+        second = {Variable("Y"): Constant(3)}
+        combined = compose(first, second)
+        assert apply_to_term(combined, Variable("X")) == Constant(3)
+
+    def test_compose_keeps_second_bindings(self):
+        first = {Variable("X"): Constant(1)}
+        second = {Variable("Z"): Constant(2)}
+        combined = compose(first, second)
+        assert combined[Variable("Z")] == Constant(2)
+        assert combined[Variable("X")] == Constant(1)
+
+    @given(st.integers(min_value=0, max_value=5))
+    def test_compose_equivalent_to_sequential_application(self, value):
+        term = Variable("X")
+        first = {Variable("X"): Variable("Y")}
+        second = {Variable("Y"): Constant(value)}
+        sequential = apply_to_term(second, apply_to_term(first, term))
+        assert apply_to_term(compose(first, second), term) == sequential
+
+
+class TestRenameApart:
+    def test_no_collision_no_change(self):
+        atoms = (Atom.of("a", "X", "Y"),)
+        renamed, renaming = rename_apart(atoms, {Variable("Z")})
+        assert renamed == atoms
+        assert renaming == {}
+
+    def test_collisions_are_renamed(self):
+        atoms = (Atom.of("a", "X", "Y"), Atom.of("b", "Y", "Z"))
+        renamed, renaming = rename_apart(atoms, {Variable("Y")})
+        assert Variable("Y") in renaming
+        new_variables = {v for atom in renamed for v in atom.variable_set()}
+        assert Variable("Y") not in new_variables
+        # shared structure must be preserved: both renamed atoms use the same new variable
+        assert renamed[0].args[1] == renamed[1].args[0]
