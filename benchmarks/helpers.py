@@ -4,16 +4,78 @@ Every benchmark module reproduces one figure or quantitative claim of the
 paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
 paper-vs-measured record).  The helpers here keep the modules small: a
 standard way to print a report table (so ``pytest benchmarks/ -s`` shows the
-same rows EXPERIMENTS.md records) and to attach the headline numbers to
+same rows EXPERIMENTS.md records), to attach the headline numbers to
 ``benchmark.extra_info`` (so they survive into pytest-benchmark's output even
-without ``-s``).
+without ``-s``), and to persist every run's headline numbers and timings as
+machine-readable ``BENCH_<experiment>.json`` files so runs are comparable
+with a plain diff (locally across checkouts, or via CI artifacts).
+
+The JSON files land in ``benchmarks/out/`` (gitignored) by default; set
+``BENCH_JSON_DIR`` to redirect them, e.g. to a CI artifact directory or to a
+directory kept outside the tree for before/after comparisons.  Writes are
+atomic per file; the merge assumes the usual single-process pytest run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.analysis import format_table
+
+_EXPERIMENT_PATTERN = re.compile(r"e\d{2}")
+
+
+def output_dir() -> Path:
+    """Where the ``BENCH_*.json`` files are written."""
+    configured = os.environ.get("BENCH_JSON_DIR")
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parent / "out"
+
+
+def experiment_tag(name: str) -> str:
+    """Experiment id (``e01`` ... ``e13``) parsed from a test/benchmark name."""
+    match = _EXPERIMENT_PATTERN.search(name)
+    return match.group(0) if match else "misc"
+
+
+def _benchmark_timing(benchmark) -> Optional[Dict[str, float]]:
+    """Wall-clock stats from a completed pytest-benchmark fixture, if any."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return None
+    timing: Dict[str, float] = {}
+    for key in ("min", "max", "mean", "rounds"):
+        value = getattr(stats, key, None)
+        if value is not None:
+            timing[f"{key}_seconds" if key != "rounds" else key] = float(value)
+    return timing or None
+
+
+def write_bench_json(experiment: str, entry_name: str, payload: Mapping) -> Path:
+    """Merge one entry into ``BENCH_<experiment>.json`` and return the path.
+
+    The file maps entry names (test ids) to their latest recorded payload;
+    re-running a benchmark overwrites only its own entry.
+    """
+    directory = output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{experiment}.json"
+    data: Dict[str, object] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data[entry_name] = payload
+    scratch = path.with_suffix(f".tmp{os.getpid()}")
+    scratch.write_text(json.dumps(data, indent=2, sort_keys=True, default=str) + "\n")
+    os.replace(scratch, path)
+    return path
 
 
 def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -25,11 +87,24 @@ def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
 
 
 def attach(benchmark, **info) -> None:
-    """Attach headline numbers to the pytest-benchmark record."""
+    """Attach headline numbers to the pytest-benchmark record and persist them.
+
+    Alongside ``benchmark.extra_info``, the numbers (plus the benchmark's
+    timing stats, when the run has them) are merged into the experiment's
+    ``BENCH_*.json`` file.
+    """
     if benchmark is None:
         return
     for key, value in info.items():
         benchmark.extra_info[key] = value
+    name = getattr(benchmark, "name", None)
+    if not name:
+        return
+    payload: Dict[str, object] = {"extra_info": dict(benchmark.extra_info)}
+    timing = _benchmark_timing(benchmark)
+    if timing is not None:
+        payload["timing"] = timing
+    write_bench_json(experiment_tag(name), name, payload)
 
 
 def run_once(benchmark, function, *args, **kwargs):

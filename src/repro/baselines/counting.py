@@ -36,9 +36,49 @@ from ..datalog.relation import Value
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Variable, is_variable
 from ..engine import algebra
-from ..engine.cq_eval import evaluate_body
+from ..engine.compile import CompiledRule, compile_rule
 from ..engine.instrumentation import EvaluationStats
 from ..engine.query import QueryResult, SelectionQuery
+
+
+def _compile_exit_rules(shape: ChainShape, relations) -> List[Tuple[object, CompiledRule]]:
+    """Compile each exit rule's body once per query instead of once per value.
+
+    Returns ``(first head argument, compiled plan)`` pairs; when the first
+    head argument is a variable it is declared bound so the per-value
+    evaluation below probes the body with it.
+    """
+    plans: List[Tuple[object, CompiledRule]] = []
+    for exit_rule in shape.exit_rules:
+        head_first = exit_rule.head.args[0]
+        bound = (head_first,) if is_variable(head_first) else ()
+        plans.append((head_first, compile_rule(exit_rule, relations, bound=bound)))
+    return plans
+
+
+def _exit_seconds(
+    plans: List[Tuple[object, CompiledRule]],
+    relations,
+    value: Value,
+    stats: EvaluationStats,
+) -> Set[Value]:
+    """Second head components derivable by the exit rules for ``value``."""
+    seconds: Set[Value] = set()
+    for head_first, plan in plans:
+        if not plan.producible:
+            continue
+        if is_variable(head_first):
+            bindings = {head_first: value}
+        elif head_first.value != value:
+            # a constant head argument only matches its own value; the rule
+            # contributes nothing at other reached values
+            continue
+        else:
+            bindings = None
+        is_const, op = plan.head_ops[1]
+        for assignment in plan.join(relations, stats=stats, bindings=bindings):
+            seconds.add(op if is_const else assignment[op])
+    return seconds
 
 
 @dataclass
@@ -131,18 +171,14 @@ def counting_query(
 
     # ascend: apply the exit rules at every depth, then walk the down chain back up
     answers: Set[Tuple[Value, ...]] = set()
-    head_vars = [arg for arg in shape.recursive_rule.head.args]
+    exit_plans = _compile_exit_rules(shape, relations)
+    stats.record_plans_compiled(len(exit_plans))
     for level, values in counting.items():
         if not values:
             continue
         exit_seconds: Set[Value] = set()
-        for exit_rule in shape.exit_rules:
-            for value in values:
-                binding = {exit_rule.head.args[0]: value} if is_variable(exit_rule.head.args[0]) else {}
-                for assignment in evaluate_body(exit_rule.body, relations, binding, stats):
-                    second = assignment.get(exit_rule.head.args[1]) if is_variable(exit_rule.head.args[1]) else exit_rule.head.args[1].value
-                    if second is not None:
-                        exit_seconds.add(second)
+        for value in values:
+            exit_seconds |= _exit_seconds(exit_plans, relations, value, stats)
         frontier = exit_seconds
         if down is not None:
             for _ in range(level):
@@ -196,13 +232,11 @@ def counting_without_counts_query(
         stats.record_state(len(seen), len(seen))
 
     answers: Set[Tuple[Value, ...]] = set()
-    for exit_rule in shape.exit_rules:
-        for value in seen:
-            binding = {exit_rule.head.args[0]: value} if is_variable(exit_rule.head.args[0]) else {}
-            for assignment in evaluate_body(exit_rule.body, relations, binding, stats):
-                second = assignment.get(exit_rule.head.args[1]) if is_variable(exit_rule.head.args[1]) else exit_rule.head.args[1].value
-                if second is not None:
-                    answers.add((constant, second))
+    exit_plans = _compile_exit_rules(shape, relations)
+    stats.record_plans_compiled(len(exit_plans))
+    for value in seen:
+        for second in _exit_seconds(exit_plans, relations, value, stats):
+            answers.add((constant, second))
     answers = query.select(answers)
     stats.record_produced(len(answers))
     stats.extra["carry_arity"] = 1

@@ -187,8 +187,13 @@ def magic_query(
     stats.start_timer()
     rewriting = magic_rewrite(program, query)
 
-    seeded = database.copy()
-    seeded.add_fact(rewriting.seed_predicate, rewriting.seed_tuple)
+    # Overlay database: the EDB relations are shared (semi-naive evaluation
+    # never mutates its inputs), only the magic seed relation is fresh, so a
+    # query does not pay for copying the whole database.
+    seeded = Database(database.relations())
+    seeded.add_relation(
+        Relation(rewriting.seed_predicate, len(rewriting.seed_tuple), [rewriting.seed_tuple])
+    )
     derived = seminaive_evaluate(rewriting.rewritten, seeded, stats)
 
     answer_relation = derived.get(rewriting.answer_predicate)

@@ -9,7 +9,8 @@ Design notes
 ------------
 * Tuples are stored in a plain ``set`` for O(1) membership and duplicate
   elimination (Datalog is set semantics).
-* Per-column-set hash indexes are built lazily and invalidated on insert.
+* Per-column-set hash indexes are built lazily on first probe and then
+  maintained incrementally by ``add``/``discard``/``clear``.
   A lookup with ``k`` bound columns therefore touches only the matching
   tuples, which is what makes the paper's Property 3 ("never do an
   unrestricted lookup on a nonrecursive relation") observable in the
@@ -67,11 +68,34 @@ class Relation:
         return added
 
     def discard(self, row: Sequence[Value]) -> None:
-        """Remove a tuple if present (indexes are rebuilt lazily)."""
+        """Remove a tuple if present (indexes are maintained in place)."""
         tupled = tuple(row)
-        if tupled in self._rows:
-            self._rows.discard(tupled)
-            self._indexes.clear()
+        if tupled not in self._rows:
+            return
+        self._rows.discard(tupled)
+        for columns, index in self._indexes.items():
+            key = tuple(tupled[c] for c in columns)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(tupled)
+            except ValueError:
+                continue
+            if not bucket:
+                del index[key]
+
+    def clear(self) -> None:
+        """Remove every tuple, keeping the registered index column-sets.
+
+        The semi-naive engine double-buffers its delta relations: the old
+        delta is cleared and refilled rather than reallocated, so the column
+        combinations the joins probe stay registered and :meth:`add` maintains
+        them incrementally instead of each iteration rebuilding from scratch.
+        """
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
 
     # ------------------------------------------------------------------
     # inspection
@@ -131,6 +155,20 @@ class Relation:
                 )
         key = tuple(bindings[c] for c in columns)
         return list(self._index_for(columns).get(key, ()))
+
+    def probe(self, columns: Tuple[int, ...], key: Row) -> Sequence[Row]:
+        """Tuples matching ``key`` on the (pre-sorted) ``columns``.
+
+        The fast-path lookup used by compiled plans: the caller fixed the
+        column set at compile time, so no per-call sorting or dict building
+        happens here, and the matching bucket is returned without copying.
+        Callers must treat the result as read-only.
+        """
+        if columns and (columns[0] < 0 or columns[-1] >= self.arity):
+            raise SchemaError(
+                f"relation {self.name} has arity {self.arity}; columns {columns} out of range"
+            )
+        return self._index_for(columns).get(key, ())
 
     def project(self, columns: Sequence[int]) -> Set[Row]:
         """Projection onto the given columns (duplicates eliminated)."""

@@ -1,6 +1,12 @@
 """Evaluation engine: instrumented relational algebra, rule evaluation, fixpoints."""
 
 from .algebra import difference, join, project, scan, select, semijoin, union
+from .compile import (
+    CompiledRule,
+    compile_delta_variants,
+    compile_program_rules,
+    compile_rule,
+)
 from .cq_eval import (
     as_relation,
     evaluate_body,
@@ -15,10 +21,14 @@ from .seminaive import seminaive_evaluate, seminaive_query
 from .strata import evaluation_strata, strongly_connected_components
 
 __all__ = [
+    "CompiledRule",
     "EvaluationStats",
     "QueryResult",
     "SelectionQuery",
     "as_relation",
+    "compile_delta_variants",
+    "compile_program_rules",
+    "compile_rule",
     "difference",
     "evaluate_body",
     "evaluate_body_project",

@@ -45,16 +45,28 @@ def _atom_bound_columns(atom: Atom, bound: Set[Variable]) -> int:
     return count
 
 
-def plan_order(atoms: Sequence[Atom], initially_bound: Set[Variable], relations: Optional[RelationMap] = None) -> List[int]:
+def plan_order(
+    atoms: Sequence[Atom],
+    initially_bound: Set[Variable],
+    relations: Optional[RelationMap] = None,
+    first: Optional[int] = None,
+) -> List[int]:
     """Greedy join order: repeatedly pick the atom with the most bound columns.
 
     Ties are broken by preferring smaller stored relations (when sizes are
     available) and then by textual order, which keeps plans deterministic.
-    Returns the atom indexes in evaluation order.
+    Returns the atom indexes in evaluation order.  When ``first`` is given,
+    that atom is forced to the front (semi-naive plans put the delta
+    occurrence first — it is the most selective input by construction) and
+    the rest are planned greedily with its variables counted as bound.
     """
     remaining = list(range(len(atoms)))
     bound = set(initially_bound)
     order: List[int] = []
+    if first is not None:
+        remaining.remove(first)
+        order.append(first)
+        bound |= atoms[first].variable_set()
     while remaining:
         def sort_key(index: int) -> Tuple[int, int, int]:
             atom = atoms[index]

@@ -35,6 +35,8 @@ class EvaluationStats:
     unrestricted_lookups: int = 0
     #: fixpoint / while-loop iterations (Property 1)
     iterations: int = 0
+    #: join plans compiled (engine v2 compiles once per fixpoint, not per iteration)
+    plans_compiled: int = 0
     #: peak number of tuples kept as inter-iteration state (Property 2)
     peak_state_tuples: int = 0
     #: sum over state relations of (arity of the relation), at the peak
@@ -63,6 +65,10 @@ class EvaluationStats:
     def record_iteration(self) -> None:
         """Record one pass of the outer fixpoint / while loop."""
         self.iterations += 1
+
+    def record_plans_compiled(self, count: int = 1) -> None:
+        """Record join plans compiled for a fixpoint (engine-v2 bookkeeping)."""
+        self.plans_compiled += count
 
     def record_state(self, tuples: int, columns: int = 0) -> None:
         """Record the current size of the inter-iteration state.
@@ -96,6 +102,7 @@ class EvaluationStats:
         self.lookups += other.lookups
         self.unrestricted_lookups += other.unrestricted_lookups
         self.iterations += other.iterations
+        self.plans_compiled += other.plans_compiled
         self.peak_state_tuples = max(self.peak_state_tuples, other.peak_state_tuples)
         self.peak_state_columns = max(self.peak_state_columns, other.peak_state_columns)
         self.elapsed_seconds += other.elapsed_seconds
@@ -111,6 +118,7 @@ class EvaluationStats:
             "lookups": self.lookups,
             "unrestricted_lookups": self.unrestricted_lookups,
             "iterations": self.iterations,
+            "plans_compiled": self.plans_compiled,
             "peak_state_tuples": self.peak_state_tuples,
             "peak_state_columns": self.peak_state_columns,
             "elapsed_seconds": self.elapsed_seconds,

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 from ..datalog.database import Database
 from ..datalog.relation import Relation
 from ..datalog.rules import Program
-from .cq_eval import evaluate_rule
+from .compile import compile_program_rules
 from .instrumentation import EvaluationStats
 from .strata import evaluation_strata, group_is_recursive
 
@@ -45,13 +45,17 @@ def naive_evaluate(
 
     for group in evaluation_strata(program):
         rules = [rule for predicate in group for rule in program.rules_for(predicate)]
+        # Plans are compiled once per stratum and reused by every iteration.
+        plans = compile_program_rules(rules, relations)
+        stats.record_plans_compiled(len(plans))
         recursive_group = group_is_recursive(program, group)
         while True:
             stats.record_iteration()
             changed = False
-            for rule in rules:
-                for row in evaluate_rule(rule, relations, stats=stats):
-                    if derived[rule.head.predicate].add(row):
+            for plan in plans:
+                target = derived[plan.rule.head.predicate]
+                for row in plan.evaluate(relations, stats=stats):
+                    if target.add(row):
                         changed = True
                         stats.record_produced()
             stats.record_state(

@@ -13,8 +13,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.database import Database
 from ..datalog.relation import Relation, Row
-from ..datalog.rules import Program, Rule
-from .cq_eval import evaluate_rule, evaluate_rule_with_delta
+from ..datalog.rules import Program
+from .compile import compile_delta_variants, compile_program_rules
 from .instrumentation import EvaluationStats
 from .strata import evaluation_strata, group_is_recursive
 
@@ -60,47 +60,68 @@ def _evaluate_group(
     rules = [rule for predicate in group for rule in program.rules_for(predicate)]
     recursive_rules = [rule for rule in rules if any(p in group_set for p in rule.body_predicates())]
     base_rules = [rule for rule in rules if rule not in recursive_rules]
+    base_plans = compile_program_rules(base_rules, relations)
+    stats.record_plans_compiled(len(base_plans))
+
+    # The deltas are persistent, double-buffered relations: ``current`` holds
+    # the tuples new in the previous iteration, ``spare`` collects this
+    # iteration's discoveries.  At the end of an iteration the buffers swap
+    # and the stale one is cleared — its lazily-built indexes keep their
+    # registered column-sets, so delta joins in later iterations are
+    # maintained incrementally instead of being rebuilt from row sets.
+    current: Dict[str, Relation] = {p: Relation(f"delta_{p}", derived[p].arity) for p in group}
+    spare: Dict[str, Relation] = {p: Relation(f"delta_{p}", derived[p].arity) for p in group}
 
     # Initialisation: pre-existing facts for the group's predicates (e.g. a
     # magic seed placed in the database) count as freshly derived, then the
     # nonrecursive rules are applied once.
-    deltas: Dict[str, Set[Row]] = {predicate: set(derived[predicate].rows()) for predicate in group}
+    for predicate in group:
+        current[predicate].add_all(derived[predicate].rows())
     stats.record_iteration()
-    for rule in base_rules:
-        for row in evaluate_rule(rule, relations, stats=stats):
-            if derived[rule.head.predicate].add(row):
-                deltas[rule.head.predicate].add(row)
+    for plan in base_plans:
+        target = derived[plan.rule.head.predicate]
+        delta = current[plan.rule.head.predicate]
+        for row in plan.evaluate(relations, stats=stats):
+            if target.add(row):
+                delta.add(row)
                 stats.record_produced()
 
     if not group_is_recursive(program, group):
         return
 
+    # One compiled plan per occurrence of a group predicate in a recursive
+    # rule body, reused verbatim by every delta iteration below.
+    delta_plans = []
+    for rule in recursive_rules:
+        delta_plans.extend(compile_delta_variants(rule, group_set, relations))
+    stats.record_plans_compiled(len(delta_plans))
+
     # Iterate: apply recursive rules to the deltas only.
-    while any(deltas.values()):
+    while any(not current[p].is_empty() for p in group):
         stats.record_iteration()
         stats.record_state(
-            sum(len(d) for d in deltas.values()),
-            sum(len(d) * derived[p].arity for p, d in deltas.items()),
+            sum(len(current[p]) for p in group),
+            sum(len(current[p]) * derived[p].arity for p in group),
         )
-        new_deltas: Dict[str, Set[Row]] = {predicate: set() for predicate in group}
-        delta_relations = {
-            predicate: Relation(predicate, derived[predicate].arity, rows)
-            for predicate, rows in deltas.items()
-            if rows
-        }
-        for rule in recursive_rules:
-            for delta_predicate, delta_relation in delta_relations.items():
-                if delta_predicate not in rule.body_predicates():
-                    continue
-                rows = evaluate_rule_with_delta(rule, relations, delta_predicate, delta_relation, stats)
-                for row in rows:
-                    if row not in derived[rule.head.predicate].rows():
-                        new_deltas[rule.head.predicate].add(row)
-        for predicate, rows in new_deltas.items():
-            for row in rows:
-                if derived[predicate].add(row):
+        for delta_predicate, occurrence, plan in delta_plans:
+            delta_relation = current[delta_predicate]
+            if delta_relation.is_empty():
+                continue
+            head = plan.rule.head.predicate
+            seen = derived[head]
+            fresh = spare[head]
+            for row in plan.evaluate(relations, stats=stats, overrides={occurrence: delta_relation}):
+                if row not in seen:
+                    fresh.add(row)
+        for predicate in group:
+            target = derived[predicate]
+            for row in spare[predicate].rows():
+                if target.add(row):
                     stats.record_produced()
-        deltas = new_deltas
+            stale = current[predicate]
+            stale.clear()
+            current[predicate] = spare[predicate]
+            spare[predicate] = stale
 
 
 def seminaive_query(

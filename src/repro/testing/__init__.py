@@ -1,0 +1,14 @@
+"""Randomized differential testing: seeded case generation + cross-engine diffing."""
+
+from .differential import DifferentialReport, run_batch, run_differential
+from .generate import FAMILIES, DifferentialCase, generate_case, generate_cases
+
+__all__ = [
+    "FAMILIES",
+    "DifferentialCase",
+    "DifferentialReport",
+    "generate_case",
+    "generate_cases",
+    "run_batch",
+    "run_differential",
+]

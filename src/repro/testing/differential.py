@@ -1,0 +1,137 @@
+"""Cross-engine differential runner.
+
+Evaluates one generated case (:mod:`repro.testing.generate`) under every
+evaluation strategy in the library and checks that they agree tuple for
+tuple:
+
+* **naive vs. semi-naive** — full IDB relations must be identical;
+* **magic sets** — query answers must equal the answers selected from the
+  semi-naive model;
+* **counting** — likewise, whenever the program has the chain shape the
+  counting implementation covers; cases outside its scope (no chain shape,
+  IDB-dependent exit rules, queries not binding column 0, cyclic reachable
+  data) are recorded as skipped rather than silently dropped, and the test
+  suite asserts each engine actually runs on a healthy share of the batch.
+
+A mismatch produces a report carrying the offending seed, so any failure is
+reproducible with ``generate_case(seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..baselines.counting import counting_query, detect_chain_shape
+from ..baselines.magic import magic_query
+from ..datalog.errors import EvaluationError, ProgramError
+from ..datalog.relation import Row
+from ..engine.naive import naive_evaluate
+from ..engine.seminaive import seminaive_evaluate
+from .generate import DifferentialCase
+
+#: depth bound handed to the counting method; generated cyclic cases trip it
+COUNTING_DEPTH_BOUND = 2_000
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of running one case through every engine."""
+
+    case: DifferentialCase
+    #: engine name -> "ok" or "skipped: <reason>"
+    engines: Dict[str, str] = field(default_factory=dict)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} mismatches"
+        return f"{self.case.name} ({self.case.description}): {status}"
+
+
+def _counting_scope_reason(case: DifferentialCase) -> str:
+    """Why the counting implementation cannot run this case ("" if it can)."""
+    if set(case.query.bound_columns()) != {0}:
+        return "query does not bind exactly column 0"
+    try:
+        shape = detect_chain_shape(case.program, case.query.predicate)
+    except ProgramError as error:
+        return f"no chain shape: {error}"
+    edb = case.program.edb_predicates()
+    for exit_rule in shape.exit_rules:
+        if any(predicate not in edb for predicate in exit_rule.body_predicates()):
+            return "exit rule depends on IDB predicates"
+    return ""
+
+
+def run_differential(case: DifferentialCase) -> DifferentialReport:
+    """Evaluate ``case`` under all engines and diff the results."""
+    report = DifferentialReport(case)
+    program, database, query = case.program, case.database, case.query
+
+    naive_derived = naive_evaluate(program, database)
+    semi_derived = seminaive_evaluate(program, database)
+    report.engines["naive"] = "ok"
+    report.engines["seminaive"] = "ok"
+
+    predicates = set(naive_derived) | set(semi_derived)
+    for predicate in sorted(predicates):
+        naive_rows = naive_derived[predicate].rows() if predicate in naive_derived else set()
+        semi_rows = semi_derived[predicate].rows() if predicate in semi_derived else set()
+        if naive_rows != semi_rows:
+            only_naive = sorted(naive_rows - semi_rows)[:5]
+            only_semi = sorted(semi_rows - naive_rows)[:5]
+            report.mismatches.append(
+                f"{predicate}: naive={len(naive_rows)} vs seminaive={len(semi_rows)} tuples "
+                f"(naive-only sample {only_naive}, seminaive-only sample {only_semi})"
+            )
+
+    if query.predicate in semi_derived:
+        reference: Set[Row] = query.select(semi_derived[query.predicate].rows())
+    else:
+        reference = set()
+
+    if query.bound_columns():
+        magic = magic_query(program, database, query)
+        report.engines["magic"] = "ok"
+        if magic.answers != reference:
+            report.mismatches.append(
+                f"magic: {len(magic.answers)} answers vs reference {len(reference)} "
+                f"(magic-only sample {sorted(magic.answers - reference)[:5]}, "
+                f"reference-only sample {sorted(reference - magic.answers)[:5]})"
+            )
+    else:
+        report.engines["magic"] = "skipped: no bound column"
+
+    scope_reason = _counting_scope_reason(case)
+    if scope_reason:
+        report.engines["counting"] = f"skipped: {scope_reason}"
+    else:
+        try:
+            counting = counting_query(program, database, query, max_depth=COUNTING_DEPTH_BOUND)
+        except EvaluationError as error:
+            report.engines["counting"] = f"skipped: {error}"
+        else:
+            report.engines["counting"] = "ok"
+            if counting.answers != reference:
+                report.mismatches.append(
+                    f"counting: {len(counting.answers)} answers vs reference {len(reference)} "
+                    f"(counting-only sample {sorted(counting.answers - reference)[:5]}, "
+                    f"reference-only sample {sorted(reference - counting.answers)[:5]})"
+                )
+
+    return report
+
+
+def run_batch(cases) -> Tuple[List[DifferentialReport], Dict[str, int]]:
+    """Run many cases; returns the reports plus per-engine "ok" run counts."""
+    reports = [run_differential(case) for case in cases]
+    coverage: Dict[str, int] = {}
+    for report in reports:
+        for engine, status in report.engines.items():
+            if status == "ok":
+                coverage[engine] = coverage.get(engine, 0) + 1
+    return reports, coverage

@@ -118,3 +118,35 @@ class TestCountingWithoutCounts:
     def test_unary_state(self, tc_program, chain_db):
         result = counting_without_counts_query(tc_program, chain_db, SelectionQuery.of("t", 2, {0: 0}))
         assert result.stats.extra["carry_arity"] == 1
+
+
+class TestConstantHeadExitRule:
+    """An exit rule with a constant first head argument only fires at that value.
+
+    Regression test: the ascend phase used to add the rule's consequences for
+    *every* reached value, yielding answers semi-naive never derives.
+    """
+
+    def _program(self):
+        return parse_program(
+            """
+            t(X, Y) :- up(X, W), t(W, Y).
+            t(z9, Y) :- e(Y).
+            """
+        )
+
+    def _database(self):
+        return Database.from_dict({"up": [("a", "b")], "e": [("s1",), ("s2",)]})
+
+    def test_unreachable_constant_yields_no_answers(self):
+        query = SelectionQuery.of("t", 2, {0: "a"})
+        result = counting_without_counts_query(self._program(), self._database(), query)
+        reference, _ = seminaive_query(self._program(), self._database(), "t", {0: "a"})
+        assert result.answers == reference == set()
+
+    def test_reachable_constant_still_fires(self):
+        database = Database.from_dict({"up": [("a", "z9")], "e": [("s1",), ("s2",)]})
+        query = SelectionQuery.of("t", 2, {0: "a"})
+        result = counting_without_counts_query(self._program(), database, query)
+        reference, _ = seminaive_query(self._program(), database, "t", {0: "a"})
+        assert result.answers == reference == {("a", "s1"), ("a", "s2")}

@@ -1,0 +1,104 @@
+"""Pinned lookup accounting on the paper's Figure 7 / Figure 8 workloads.
+
+These tests freeze the restricted/unrestricted lookup counts of the one-sided
+selection algorithms on small deterministic workloads, so an engine or
+storage-layer change cannot silently regress the paper's Property 3 ("never
+do an unrestricted lookup on a nonrecursive relation").  The counts are exact
+and hand-derivable:
+
+* Figure 7 (Aho–Ullman), ``t(X, 8)?`` on the 8-edge chain ``0 → 1 → ... → 8``
+  with ``b = a``: one restricted select on ``b`` plus one restricted semijoin
+  against ``a`` per carry value — 9 lookups, 8 tuples examined, 8 iterations.
+* Figure 8 (Henschen–Naqvi), ``t(0, Y)?`` on the same chain: two initial
+  selects (``a`` and ``b``), one semijoin per loop iteration (8), and the
+  final ``seen ⋈ b`` pass (8 values) — 18 lookups, 16 tuples examined.
+
+Crucially the counts must be *identical* when the database is padded with
+irrelevant chains: the algorithms only ever probe through the selection
+constant, so irrelevant data costs nothing.  Semi-naive evaluation on the
+same workload performs unrestricted scans — pinned here as the contrast that
+makes the property observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import aho_ullman_selection, henschen_naqvi_selection, one_sided_query
+from repro.engine import SelectionQuery, seminaive_query
+from repro.workloads import chain, edge_database, transitive_closure
+
+PROGRAM = transitive_closure()
+CHAIN_LENGTH = 8
+
+
+def bare_database():
+    return edge_database(chain(CHAIN_LENGTH))
+
+
+def padded_database(segments: int = 50):
+    """The chain plus ``segments`` disjoint chains irrelevant to the queries."""
+    edges = chain(CHAIN_LENGTH)
+    for index in range(segments):
+        base = 10_000 + index * (CHAIN_LENGTH + 1)
+        edges.extend(chain(CHAIN_LENGTH, start=base))
+    return edge_database(edges)
+
+
+class TestFigure7Accounting:
+    @pytest.mark.parametrize("database_factory", [bare_database, padded_database])
+    def test_pinned_counts(self, database_factory):
+        answers, stats = aho_ullman_selection(database_factory(), CHAIN_LENGTH)
+        assert answers == set(range(CHAIN_LENGTH))
+        assert stats.unrestricted_lookups == 0  # Property 3
+        assert stats.lookups == 9  # 1 select on b + 8 restricted semijoins on a
+        assert stats.tuples_examined == 8
+        assert stats.iterations == 8
+
+    def test_counts_independent_of_irrelevant_data(self):
+        _, bare = aho_ullman_selection(bare_database(), CHAIN_LENGTH)
+        _, padded = aho_ullman_selection(padded_database(), CHAIN_LENGTH)
+        assert bare.lookups == padded.lookups
+        assert bare.tuples_examined == padded.tuples_examined
+        assert bare.unrestricted_lookups == padded.unrestricted_lookups == 0
+
+
+class TestFigure8Accounting:
+    @pytest.mark.parametrize("database_factory", [bare_database, padded_database])
+    def test_pinned_counts(self, database_factory):
+        answers, stats = henschen_naqvi_selection(database_factory(), 0)
+        assert answers == set(range(1, CHAIN_LENGTH + 1))
+        assert stats.unrestricted_lookups == 0  # Property 3
+        # 2 initial selects + 8 loop semijoins + 8 final b-probes (one per seen value)
+        assert stats.lookups == 18
+        assert stats.tuples_examined == 16
+        assert stats.iterations == 8
+
+    def test_counts_independent_of_irrelevant_data(self):
+        _, bare = henschen_naqvi_selection(bare_database(), 0)
+        _, padded = henschen_naqvi_selection(padded_database(), 0)
+        assert bare.lookups == padded.lookups
+        assert bare.tuples_examined == padded.tuples_examined
+        assert bare.unrestricted_lookups == padded.unrestricted_lookups == 0
+
+
+class TestOneSidedSchemaAccounting:
+    """The generic Figure 9 schema must match the hand transcriptions' economy."""
+
+    def test_backward_selection_matches_figure_7(self):
+        result = one_sided_query(PROGRAM, padded_database(), SelectionQuery.of("t", 2, {1: CHAIN_LENGTH}))
+        assert result.stats.unrestricted_lookups == 0
+        assert result.stats.lookups == 9
+
+    def test_forward_selection_matches_figure_8(self):
+        result = one_sided_query(PROGRAM, padded_database(), SelectionQuery.of("t", 2, {0: 0}))
+        assert result.stats.unrestricted_lookups == 0
+        assert result.stats.lookups == 18
+
+
+class TestSeminaiveContrast:
+    def test_seminaive_performs_unrestricted_scans(self):
+        """The baseline's unrestricted count is what Figures 7/8 save."""
+        _, stats = seminaive_query(PROGRAM, bare_database(), "t", {1: CHAIN_LENGTH})
+        assert stats.unrestricted_lookups > 0
+        assert stats.lookups > 18

@@ -104,3 +104,76 @@ class TestLookupProperties:
         relation = Relation("r", 2, rows)
         for value in range(4):
             assert set(relation.lookup({0: value})) <= set(rows)
+
+
+class TestDiscardKeepsIndexes:
+    """``discard`` must surgically update index buckets, not drop every index."""
+
+    def test_interleaved_add_discard_lookup(self, edges):
+        assert set(edges.lookup({0: 1})) == {(1, 2), (1, 3)}  # builds the column-0 index
+        edges.discard((1, 2))
+        assert set(edges.lookup({0: 1})) == {(1, 3)}
+        edges.add((1, 4))
+        assert set(edges.lookup({0: 1})) == {(1, 3), (1, 4)}
+        edges.discard((1, 3))
+        edges.discard((1, 4))
+        assert edges.lookup({0: 1}) == []
+        edges.add((1, 2))
+        assert edges.lookup({0: 1}) == [(1, 2)]
+
+    def test_discard_updates_every_live_index(self, edges):
+        edges.lookup({0: 1})
+        edges.lookup({1: 3})
+        edges.lookup({0: 1, 1: 3})
+        edges.discard((1, 3))
+        assert set(edges.lookup({0: 1})) == {(1, 2)}
+        assert set(edges.lookup({1: 3})) == {(2, 3)}
+        assert edges.lookup({0: 1, 1: 3}) == []
+
+    def test_discard_absent_row_is_noop(self, edges):
+        edges.lookup({0: 1})
+        edges.discard((42, 42))
+        assert set(edges.lookup({0: 1})) == {(1, 2), (1, 3)}
+        assert len(edges) == 4
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.tuples(st.integers(0, 3), st.integers(0, 3))),
+            max_size=60,
+        )
+    )
+    def test_random_interleaving_matches_set_semantics(self, operations):
+        relation = Relation("r", 2)
+        reference = set()
+        for is_add, row in operations:
+            if is_add:
+                relation.add(row)
+                reference.add(row)
+            else:
+                relation.discard(row)
+                reference.discard(row)
+            # exercise lookups mid-stream so indexes exist and must stay fresh
+            for column in (0, 1):
+                assert set(relation.lookup({column: row[column]})) == {
+                    r for r in reference if r[column] == row[column]
+                }
+        assert relation.rows() == reference
+
+
+class TestClearAndProbe:
+    def test_clear_empties_but_keeps_registered_indexes(self, edges):
+        edges.lookup({0: 1})
+        edges.clear()
+        assert len(edges) == 0
+        assert edges.lookup({0: 1}) == []
+        edges.add((1, 7))  # must be visible through the surviving index
+        assert edges.lookup({0: 1}) == [(1, 7)]
+
+    def test_probe_matches_lookup(self, edges):
+        assert set(edges.probe((0,), (1,))) == set(edges.lookup({0: 1}))
+        assert set(edges.probe((0, 1), (1, 3))) == set(edges.lookup({0: 1, 1: 3}))
+        assert list(edges.probe((0,), (42,))) == []
+
+    def test_probe_rejects_out_of_range_columns(self, edges):
+        with pytest.raises(SchemaError):
+            edges.probe((5,), (1,))
