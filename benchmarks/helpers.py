@@ -38,7 +38,7 @@ def output_dir() -> Path:
 
 
 def experiment_tag(name: str) -> str:
-    """Experiment id (``e01`` ... ``e13``) parsed from a test/benchmark name."""
+    """Experiment id (``e01`` ... ``e14``) parsed from a test/benchmark name."""
     match = _EXPERIMENT_PATTERN.search(name)
     return match.group(0) if match else "misc"
 

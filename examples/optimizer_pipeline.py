@@ -1,25 +1,28 @@
-"""A miniature recursive-query optimizer built from the library's pieces.
+"""The recursive-query optimizer at work: rewrite, then evaluate.
 
 The paper's conclusion is an engineering recommendation: *recursive query
 processors should check for one-sided recursions and use the specialized
-algorithms when they apply*.  This example plays the role of such a processor
-for a batch of differently-shaped recursions:
+algorithms when they apply*.  ``repro.answer`` is that processor — it runs
+the pass-based optimizer (redundancy removal, boundedness, sidedness,
+bounded-recursion unfolding) and routes each query to the cheapest strategy
+the rewrites enable.  This example feeds it a batch of differently-shaped
+recursions:
 
-* for each definition it prints the full A/V graph analysis, the redundancy
-  removal, the boundedness check and the final verdict (the Theorem 3.4
-  pipeline), and
-* it then answers one selection query per definition with the strategy the
-  verdict selects, reporting how much work each strategy did.
+* for each definition it prints the optimizer's per-pass provenance (which
+  rewrites fired and why), and
+* it then answers one selection query per definition, reporting the chosen
+  strategy and how much work it did next to the semi-naive baseline.
 
 Run with:  python examples/optimizer_pipeline.py
 """
 
 from __future__ import annotations
 
-from repro import answer_query, detect_one_sided
+from repro import answer
 from repro.analysis import format_table
 from repro.engine import SelectionQuery, seminaive_query
 from repro.workloads import (
+    bounded_swap,
     buys_database,
     buys_unoptimized,
     canonical_two_sided,
@@ -35,6 +38,16 @@ from repro.workloads import (
 )
 
 WORKLOADS = [
+    (
+        "bounded swap recursion",
+        bounded_swap(),
+        "t",
+        relations_database(
+            a=random_pairs(60, 20, seed=8),
+            b=random_pairs(40, 20, seed=9),
+        ),
+        {0: 1},
+    ),
     (
         "transitive closure",
         transitive_closure(),
@@ -84,15 +97,21 @@ WORKLOADS = [
 def main() -> None:
     rows = []
     for name, program, predicate, database, bindings in WORKLOADS:
-        outcome = detect_one_sided(program, predicate)
         query = SelectionQuery.of(predicate, program.arity_of(predicate), bindings)
-        chosen = answer_query(program, database, query)
+        chosen = answer(program, database, query)
+        provenance = chosen.provenance
         _reference, baseline = seminaive_query(program, database, predicate, bindings)
+        if provenance is not None and provenance.unfolded is not None:
+            shape = "bounded"
+        elif provenance is not None and provenance.one_sided:
+            shape = "one-sided"
+        else:
+            shape = "many-sided"
         rows.append(
             [
                 name,
-                "one-sided" if outcome.one_sided else "many-sided",
-                bool(outcome.redundancy and outcome.redundancy.changed),
+                shape,
+                ", ".join(provenance.fired()) if provenance is not None else "-",
                 chosen.strategy,
                 len(chosen.answers),
                 chosen.stats.tuples_examined,
@@ -100,8 +119,9 @@ def main() -> None:
             ]
         )
         print(f"--- {name} ---")
-        for note in outcome.notes:
-            print(f"  {note}")
+        if provenance is not None:
+            for line in provenance.describe().splitlines():
+                print(f"  {line}")
         print()
 
     print(
@@ -109,7 +129,7 @@ def main() -> None:
             [
                 "definition",
                 "class",
-                "rewritten",
+                "rewrites fired",
                 "strategy chosen",
                 "answers",
                 "tuples examined",

@@ -46,6 +46,7 @@ from .engine import (
     EvaluationStats,
     QueryResult,
     SelectionQuery,
+    answer,
     naive_evaluate,
     naive_query,
     seminaive_evaluate,
@@ -65,9 +66,16 @@ from .core import (
     one_sidedness_reduction,
     remove_recursively_redundant,
 )
-from .baselines import counting_query, magic_query
+from .baselines import counting_query, counting_scope_reason, magic_query
+from .optimize import (
+    OptimizationResult,
+    Optimizer,
+    UnfoldedDefinition,
+    optimize_program,
+    unfold_bounded,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -77,6 +85,8 @@ __all__ = [
     "EvaluationStats",
     "NotOneSidedError",
     "OneSidedSchema",
+    "OptimizationResult",
+    "Optimizer",
     "ParseError",
     "Program",
     "ProgramError",
@@ -86,14 +96,17 @@ __all__ = [
     "Rule",
     "SchemaError",
     "SelectionQuery",
+    "UnfoldedDefinition",
     "Variable",
     "__version__",
     "aho_ullman_selection",
+    "answer",
     "answer_query",
     "build_av_graph",
     "build_full_av_graph",
     "classify",
     "counting_query",
+    "counting_scope_reason",
     "describe",
     "detect_one_sided",
     "estimate_sidedness",
@@ -106,6 +119,7 @@ __all__ = [
     "naive_query",
     "one_sided_query",
     "one_sidedness_reduction",
+    "optimize_program",
     "parse_atom",
     "parse_program",
     "parse_query",
@@ -114,4 +128,5 @@ __all__ = [
     "seminaive_evaluate",
     "seminaive_query",
     "to_dot",
+    "unfold_bounded",
 ]

@@ -3,6 +3,7 @@
 from .counting import (
     ChainShape,
     counting_query,
+    counting_scope_reason,
     counting_without_counts_query,
     detect_chain_shape,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "ChainShape",
     "MagicRewriting",
     "counting_query",
+    "counting_scope_reason",
     "counting_without_counts_query",
     "detect_chain_shape",
     "magic_query",

@@ -16,7 +16,12 @@ equivalent one-sided definition exists — so on that subclass the procedure is
 complete, not merely sound.
 
 :func:`detect_one_sided` packages the procedure and reports which guarantees
-apply to its verdict.
+apply to its verdict.  Since the optimizer layer landed, the procedure is
+literally a composition of the analysis passes of :mod:`repro.optimize` —
+redundancy removal, boundedness detection, Theorem 3.1 classification — so
+the detection pipeline and the query-time optimizer share one code path (and
+one containment cache); this module only adds the Theorem 3.4 completeness
+bookkeeping on top.
 """
 
 from __future__ import annotations
@@ -24,11 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..datalog.errors import ProgramError
 from ..datalog.rules import Program
-from .boundedness import is_uniformly_bounded_structural
-from .classify import SidednessReport, classify
-from .redundancy import RedundancyRemoval, remove_recursively_redundant
+from ..optimize.passes import Optimizer, detection_passes
+from .classify import SidednessReport
+from .redundancy import RedundancyRemoval
 
 
 @dataclass
@@ -62,15 +66,18 @@ class DetectionOutcome:
 
 
 def detect_one_sided(program: Program, predicate: str) -> DetectionOutcome:
-    """Run the redundancy-removal + Theorem 3.1 pipeline for ``predicate``."""
-    notes: List[str] = []
+    """Run the redundancy-removal + Theorem 3.1 pipeline for ``predicate``.
 
-    if not program.is_single_linear_recursion(predicate):
-        notes.append(
-            "the definition does not consist of a single linear recursive rule; "
-            "Theorem 3.2 makes the general problem undecidable, so only the "
-            "structural test on the given rules is reported"
-        )
+    The procedure is the analysis prefix of the optimizer: the
+    :func:`~repro.optimize.passes.detection_passes` chain (redundancy
+    removal, boundedness, classification) runs through a shared
+    :class:`~repro.optimize.passes.Optimizer`, and this function adds the
+    Theorem 3.4 completeness verdict to the collected evidence.
+    """
+    result = Optimizer(detection_passes()).run(program, predicate)
+    notes: List[str] = list(result.notes)
+
+    if result.out_of_scope:
         return DetectionOutcome(
             predicate=predicate,
             original=program,
@@ -83,45 +90,15 @@ def detect_one_sided(program: Program, predicate: str) -> DetectionOutcome:
             notes=notes,
         )
 
-    redundancy = remove_recursively_redundant(program, predicate)
-    optimized = redundancy.optimized
-    if redundancy.changed:
-        removed = ", ".join(str(atom) for atom in redundancy.removed)
-        notes.append(f"removed recursively redundant atoms: {removed}")
-    else:
-        notes.append("no recursively redundant atoms removed")
-
-    rule = optimized.linear_recursive_rule(predicate)
-    repeated = rule.has_repeated_nonrecursive_predicates()
-    if repeated:
-        notes.append(
-            "the recursive rule repeats a nonrecursive predicate, so the Theorem 3.4 "
-            "completeness guarantee does not apply"
-        )
-
-    uniformly_bounded: Optional[bool] = None
-    if not repeated:
-        try:
-            uniformly_bounded = is_uniformly_bounded_structural(optimized, predicate)
-        except ProgramError:
-            uniformly_bounded = None
-    if uniformly_bounded:
-        notes.append(
-            "the optimized recursion is uniformly bounded; it is equivalent to a finite "
-            "union of conjunctive queries and any selection on it is cheap regardless of sidedness"
-        )
-
-    report = classify(optimized, predicate)
-    one_sided = report.is_one_sided
-    notes.append(report.reason())
-
+    redundancy = result.redundancy
+    assert redundancy is not None  # the redundancy pass always runs in scope
     residual_redundant = bool(redundancy.theorem_3_3_candidates) and not redundancy.changed
     verdict_is_complete = (
-        not repeated
-        and uniformly_bounded is False
+        not result.repeated_nonrecursive
+        and result.uniformly_bounded is False
         and not residual_redundant
-    ) or one_sided
-    if verdict_is_complete and not one_sided:
+    ) or result.one_sided
+    if verdict_is_complete and not result.one_sided:
         notes.append(
             "Theorem 3.4 applies: no one-sided definition is uniformly equivalent to this recursion"
         )
@@ -129,11 +106,11 @@ def detect_one_sided(program: Program, predicate: str) -> DetectionOutcome:
     return DetectionOutcome(
         predicate=predicate,
         original=program,
-        optimized=optimized,
+        optimized=result.optimized,
         redundancy=redundancy,
-        report=report,
-        one_sided=one_sided,
-        uniformly_bounded=uniformly_bounded,
+        report=result.report,
+        one_sided=result.one_sided,
+        uniformly_bounded=result.uniformly_bounded,
         verdict_is_complete=verdict_is_complete,
         notes=notes,
     )

@@ -18,15 +18,13 @@ decision as well as the answers.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from ..datalog.atoms import Atom
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ProgramError, ReproError
-from ..datalog.parser import parse_query
 from ..datalog.rules import Program
-from ..engine.instrumentation import EvaluationStats
-from ..engine.query import QueryResult, SelectionQuery
+from ..engine.query import QueryResult, SelectionQuery, as_selection_query
 from ..engine.seminaive import seminaive_query
 from .pipeline import detect_one_sided
 from .schema import OneSidedSchema
@@ -37,20 +35,8 @@ MAGIC = "magic"
 SEMINAIVE = "seminaive"
 NAIVE = "naive"
 
-
-def _as_query(program: Program, query: Union[SelectionQuery, Atom, str]) -> SelectionQuery:
-    if isinstance(query, str):
-        query = parse_query(query)
-    if isinstance(query, Atom):
-        query = SelectionQuery.from_atom(query)
-    if not isinstance(query, SelectionQuery):
-        raise EvaluationError(f"cannot interpret {query!r} as a selection query")
-    if query.predicate in program.predicates() and program.arity_of(query.predicate) != query.arity:
-        raise EvaluationError(
-            f"query {query} has arity {query.arity}, but {query.predicate} has arity "
-            f"{program.arity_of(query.predicate)} in the program"
-        )
-    return query
+#: kept as an alias — query coercion now lives beside the engine front door
+_as_query = as_selection_query
 
 
 def answer_query(

@@ -202,6 +202,47 @@ class OneSidedSchema:
             carried_positions=carried,
             remembered_positions=remembered,
         )
+        self.subsidiary_program = self._collect_subsidiary_program()
+
+    def _collect_subsidiary_program(self) -> Optional[Program]:
+        """The rules for IDB predicates the recursion reads (e.g. an IDB exit layer).
+
+        The schema evaluates the recursion's strings against stored relations,
+        but an exit rule (or a nonrecursive body atom) may reference a
+        predicate defined by *other* rules of the program — the cross-product
+        exit layer of Section 4 is the canonical example.  Those subsidiary
+        predicates are materialized with one semi-naive pass before the schema
+        runs; without this the schema would silently read them as empty.
+
+        Raises :class:`ProgramError` when a subsidiary predicate depends back
+        on the schema's own predicate (mutual recursion), which the
+        single-linear-rule machinery cannot evaluate.
+        """
+        idb = self.program.idb_predicates()
+        needed: Set[str] = set()
+        frontier = {
+            atom.predicate
+            for rule in self.program.rules_for(self.predicate)
+            for atom in rule.body
+        }
+        while frontier:
+            name = frontier.pop()
+            if name == self.predicate or name in needed or name not in idb:
+                continue
+            needed.add(name)
+            for rule in self.program.rules_for(name):
+                frontier.update(atom.predicate for atom in rule.body)
+        if not needed:
+            return None
+        for name in sorted(needed):
+            for rule in self.program.rules_for(name):
+                if self.predicate in rule.body_predicates():
+                    raise ProgramError(
+                        f"{self.predicate} is mutually recursive with {name}; the "
+                        "one-sided schema handles a single linear recursion only"
+                    )
+        rules = [rule for rule in self.program.rules if rule.head.predicate in needed]
+        return Program(tuple(rules))
 
     # ------------------------------------------------------------------
     # public entry point
@@ -211,6 +252,14 @@ class OneSidedSchema:
         stats = stats if stats is not None else EvaluationStats()
         stats.start_timer()
         relations = {relation.name: relation for relation in database.relations()}
+        if self.subsidiary_program is not None:
+            from ..engine.seminaive import seminaive_evaluate
+
+            # seminaive_evaluate drives the shared timer itself; pause the
+            # schema's window around it so no interval is counted twice.
+            stats.stop_timer()
+            relations.update(seminaive_evaluate(self.subsidiary_program, database, stats))
+            stats.start_timer()
         if self.plan.direction == BACKWARD:
             answers = self._run_backward(relations, stats)
         else:

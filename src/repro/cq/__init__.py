@@ -1,5 +1,15 @@
-"""Conjunctive-query machinery: expansion strings, containment mappings, minimization."""
+"""Conjunctive-query machinery: expansion strings, containment, minimization, memoization."""
 
+from .cache import (
+    CQCache,
+    cached_has_containment_mapping,
+    cached_is_contained_in,
+    cached_minimize,
+    cached_minimize_union,
+    cached_union_contains,
+    canonical_key,
+    shared_cache,
+)
 from .containment import (
     are_equivalent,
     find_containment_mapping,
@@ -14,14 +24,22 @@ from .strings import AtomProvenance, ExpansionString, string_union_evaluate
 
 __all__ = [
     "AtomProvenance",
+    "CQCache",
     "ExpansionString",
     "are_equivalent",
+    "cached_has_containment_mapping",
+    "cached_is_contained_in",
+    "cached_minimize",
+    "cached_minimize_union",
+    "cached_union_contains",
+    "canonical_key",
     "find_containment_mapping",
     "has_containment_mapping",
     "is_contained_in",
     "is_minimal",
     "minimize",
     "minimize_union",
+    "shared_cache",
     "string_union_evaluate",
     "union_contained_in",
     "union_contains",

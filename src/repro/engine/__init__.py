@@ -16,7 +16,7 @@ from .cq_eval import (
 )
 from .instrumentation import EvaluationStats
 from .naive import naive_evaluate, naive_query
-from .query import QueryResult, SelectionQuery
+from .query import QueryResult, SelectionQuery, answer, as_selection_query
 from .seminaive import seminaive_evaluate, seminaive_query
 from .strata import evaluation_strata, strongly_connected_components
 
@@ -25,7 +25,9 @@ __all__ = [
     "EvaluationStats",
     "QueryResult",
     "SelectionQuery",
+    "answer",
     "as_relation",
+    "as_selection_query",
     "compile_delta_variants",
     "compile_program_rules",
     "compile_rule",

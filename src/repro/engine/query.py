@@ -1,20 +1,28 @@
-"""Selection queries on IDB predicates.
+"""Selection queries on IDB predicates, and the library's one query front door.
 
 The paper studies queries of the form "column = constant" on a recursively
 defined relation — e.g. ``t(X, n0)?`` or ``t(n0, Y)?``.  :class:`SelectionQuery`
 is the library-wide representation of such a query: a predicate name plus a
 mapping from (0-based) column numbers to constants.  Free columns are the
 output columns.
+
+:func:`answer` is the front door over every evaluation strategy the library
+implements: it runs the :mod:`repro.optimize` pass chain first
+(rewrite-then-evaluate), then picks unfolded / one-sided / counting / magic /
+semi-naive per query, and reports both the chosen strategy and the
+optimizer's rewrite provenance on the returned :class:`QueryResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple, Union
 
 from ..datalog.atoms import Atom
-from ..datalog.errors import EvaluationError
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError, ProgramError, ReproError
 from ..datalog.relation import Row, Value
+from ..datalog.rules import Program
 from ..datalog.terms import Constant, Variable, is_variable
 from .instrumentation import EvaluationStats
 
@@ -110,6 +118,9 @@ class QueryResult:
     answers: Set[Row]
     stats: EvaluationStats
     strategy: str = "unspecified"
+    #: optimizer provenance (an :class:`repro.optimize.passes.OptimizationResult`)
+    #: when the query went through :func:`answer`; ``None`` otherwise
+    provenance: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.answers)
@@ -121,3 +132,183 @@ class QueryResult:
 
     def __str__(self) -> str:
         return f"{self.query} -> {len(self.answers)} answers via {self.strategy} [{self.stats}]"
+
+
+def as_selection_query(program: Program, query: Union[SelectionQuery, Atom, str]) -> SelectionQuery:
+    """Coerce a string, query atom or :class:`SelectionQuery` into a checked query.
+
+    Strings parse with :func:`repro.datalog.parser.parse_query`; the query's
+    arity is validated against the program when the predicate appears in it.
+    """
+    if isinstance(query, str):
+        from ..datalog.parser import parse_query
+
+        query = parse_query(query)
+    if isinstance(query, Atom):
+        query = SelectionQuery.from_atom(query)
+    if not isinstance(query, SelectionQuery):
+        raise EvaluationError(f"cannot interpret {query!r} as a selection query")
+    if query.predicate in program.predicates() and program.arity_of(query.predicate) != query.arity:
+        raise EvaluationError(
+            f"query {query} has arity {query.arity}, but {query.predicate} has arity "
+            f"{program.arity_of(query.predicate)} in the program"
+        )
+    return query
+
+
+#: strategies :func:`answer` resolves itself; the rest delegate to the planner
+_FORCED_PLANNER_STRATEGIES = ("naive", "seminaive", "magic", "one-sided")
+
+
+def answer(
+    program: Program,
+    database: Database,
+    query: Union[SelectionQuery, Atom, str],
+    strategy: str = "auto",
+    optimizer: Optional[object] = None,
+    max_unfold_depth: int = 8,
+    counting_depth: int = 2_000,
+) -> QueryResult:
+    """Answer a selection query through the optimizer: rewrite, then evaluate.
+
+    The front door over every strategy in the library.  With
+    ``strategy="auto"`` it:
+
+    1. runs the :mod:`repro.optimize` pass chain on the query's predicate
+       (redundancy removal, boundedness, sidedness, bounded-recursion
+       unfolding), sharing the library-wide containment cache;
+    2. picks the cheapest applicable strategy, in order: **unfolded** (the
+       recursion was rewritten into a nonrecursive union — evaluated
+       recursion-free with the selection pushed into each compiled join),
+       **one-sided** (the Figure 9 schema, also used for fully covered
+       many-sided selections), **counting** (chain shapes with a column-0
+       selection), **magic** (any bound query), and finally plain
+       **semi-naive** evaluation plus selection;
+    3. attaches the optimizer's :class:`~repro.optimize.passes.OptimizationResult`
+       as ``result.provenance``, so callers can see exactly which rewrites
+       fired (``result.provenance.describe()``).
+
+    Forcing ``strategy="unfolded"`` raises
+    :class:`~repro.datalog.errors.EvaluationError` when no boundedness
+    witness exists within ``max_unfold_depth``; the other named strategies
+    (``"naive"``, ``"seminaive"``, ``"magic"``, ``"counting"``,
+    ``"one-sided"``) behave as in :func:`repro.core.planner.answer_query`.
+    """
+    selection = as_selection_query(program, query)
+
+    if strategy in _FORCED_PLANNER_STRATEGIES:
+        from ..core.planner import answer_query
+
+        return answer_query(program, database, selection, strategy=strategy)
+
+    if strategy == "counting":
+        from ..baselines.counting import counting_query, counting_scope_reason
+
+        reason = counting_scope_reason(program, selection)
+        if reason:
+            raise EvaluationError(f"counting strategy unavailable: {reason}")
+        return counting_query(program, database, selection, max_depth=counting_depth)
+
+    if strategy not in ("auto", "unfolded"):
+        raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
+
+    from ..optimize.passes import Optimizer, UnfoldingPass, default_passes, detection_passes
+    from ..optimize.unfold import evaluate_unfolded
+
+    if optimizer is not None:
+        chosen = optimizer
+    elif strategy == "unfolded":
+        # a forced unfolding request searches the full requested depth even
+        # when structural boundedness is undecided (repeated predicates)
+        chosen = Optimizer(
+            detection_passes()
+            + (UnfoldingPass(max_depth=max_unfold_depth, fallback_depth=None),)
+        )
+    else:
+        chosen = Optimizer(default_passes(max_unfold_depth))
+    try:
+        result = chosen.run(program, selection.predicate)
+    except ProgramError:
+        result = None  # e.g. the predicate is not defined by the program
+
+    if strategy == "unfolded":
+        if result is None or result.unfolded is None:
+            raise EvaluationError(
+                f"{selection.predicate} is not provably bounded within depth "
+                f"{max_unfold_depth}; cannot evaluate by unfolding"
+            )
+        answers, stats = evaluate_unfolded(result.unfolded, database, selection)
+        return QueryResult(selection, answers, stats, strategy="unfolded", provenance=result)
+
+    # ------------------------------------------------------------------
+    # auto: the rewrites decide the strategy
+    # ------------------------------------------------------------------
+    if result is not None and result.unfolded is not None:
+        answers, stats = evaluate_unfolded(result.unfolded, database, selection)
+        return QueryResult(selection, answers, stats, strategy="unfolded (auto)", provenance=result)
+
+    if result is not None and result.one_sided:
+        from ..core.schema import OneSidedSchema
+
+        try:
+            schema = OneSidedSchema(result.optimized, selection.predicate, selection)
+            routed = schema.run(database)
+            routed.strategy = f"{routed.strategy} (auto)"
+            routed.provenance = result
+            return routed
+        except ReproError:
+            pass  # fall through to the general strategies
+
+    # Section 5's observation: a many-sided recursion whose unbounded sides
+    # each receive a selection constant can still ride the Figure 9 schema.
+    if (
+        result is not None
+        and not result.one_sided
+        and result.report is not None
+        and selection.bound_columns()
+    ):
+        from ..core.classify import selection_covers_unbounded_sides
+        from ..core.schema import OneSidedSchema
+
+        try:
+            if selection_covers_unbounded_sides(
+                result.optimized, selection.predicate, set(selection.bound_columns())
+            ):
+                schema = OneSidedSchema(
+                    result.optimized, selection.predicate, selection, require_one_sided=False
+                )
+                routed = schema.run(database)
+                routed.strategy = f"{routed.strategy} (bounded sides, auto)"
+                routed.provenance = result
+                return routed
+        except ReproError:
+            pass
+
+    from ..baselines.counting import counting_query, counting_scope_reason
+
+    if not counting_scope_reason(program, selection):
+        try:
+            routed = counting_query(program, database, selection, max_depth=counting_depth)
+            routed.strategy = f"{routed.strategy} (auto)"
+            routed.provenance = result
+            return routed
+        except EvaluationError:
+            pass  # e.g. cyclic reachable data tripping the depth bound
+
+    if selection.bound_columns():
+        from ..baselines.magic import magic_query
+
+        try:
+            routed = magic_query(program, database, selection)
+            routed.strategy = f"{routed.strategy} (auto)"
+            routed.provenance = result
+            return routed
+        except ReproError:
+            pass
+
+    from .seminaive import seminaive_query
+
+    answers, stats = seminaive_query(
+        program, database, selection.predicate, selection.bindings_dict()
+    )
+    return QueryResult(selection, answers, stats, strategy="seminaive (auto)", provenance=result)

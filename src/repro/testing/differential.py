@@ -11,7 +11,11 @@ tuple:
   counting implementation covers; cases outside its scope (no chain shape,
   IDB-dependent exit rules, queries not binding column 0, cyclic reachable
   data) are recorded as skipped rather than silently dropped, and the test
-  suite asserts each engine actually runs on a healthy share of the batch.
+  suite asserts each engine actually runs on a healthy share of the batch;
+* **optimized** — the :func:`repro.engine.query.answer` front door with
+  ``strategy="auto"``, i.e. the full rewrite-then-evaluate path (bounded
+  unfolding, one-sided schema, counting, magic, semi-naive), runs on every
+  case; whatever strategy it picks must reproduce the reference answers.
 
 A mismatch produces a report carrying the offending seed, so any failure is
 reproducible with ``generate_case(seed)``.
@@ -22,11 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from ..baselines.counting import counting_query, detect_chain_shape
+from ..baselines.counting import counting_query, counting_scope_reason
 from ..baselines.magic import magic_query
-from ..datalog.errors import EvaluationError, ProgramError
+from ..datalog.errors import EvaluationError
 from ..datalog.relation import Row
 from ..engine.naive import naive_evaluate
+from ..engine.query import answer
 from ..engine.seminaive import seminaive_evaluate
 from .generate import DifferentialCase
 
@@ -41,6 +46,8 @@ class DifferentialReport:
     case: DifferentialCase
     #: engine name -> "ok" or "skipped: <reason>"
     engines: Dict[str, str] = field(default_factory=dict)
+    #: engine name -> the concrete strategy it reported (front-door engines)
+    strategies: Dict[str, str] = field(default_factory=dict)
     mismatches: List[str] = field(default_factory=list)
 
     @property
@@ -50,21 +57,6 @@ class DifferentialReport:
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.mismatches)} mismatches"
         return f"{self.case.name} ({self.case.description}): {status}"
-
-
-def _counting_scope_reason(case: DifferentialCase) -> str:
-    """Why the counting implementation cannot run this case ("" if it can)."""
-    if set(case.query.bound_columns()) != {0}:
-        return "query does not bind exactly column 0"
-    try:
-        shape = detect_chain_shape(case.program, case.query.predicate)
-    except ProgramError as error:
-        return f"no chain shape: {error}"
-    edb = case.program.edb_predicates()
-    for exit_rule in shape.exit_rules:
-        if any(predicate not in edb for predicate in exit_rule.body_predicates()):
-            return "exit rule depends on IDB predicates"
-    return ""
 
 
 def run_differential(case: DifferentialCase) -> DifferentialReport:
@@ -106,7 +98,7 @@ def run_differential(case: DifferentialCase) -> DifferentialReport:
     else:
         report.engines["magic"] = "skipped: no bound column"
 
-    scope_reason = _counting_scope_reason(case)
+    scope_reason = counting_scope_reason(program, query)
     if scope_reason:
         report.engines["counting"] = f"skipped: {scope_reason}"
     else:
@@ -122,6 +114,20 @@ def run_differential(case: DifferentialCase) -> DifferentialReport:
                     f"(counting-only sample {sorted(counting.answers - reference)[:5]}, "
                     f"reference-only sample {sorted(reference - counting.answers)[:5]})"
                 )
+
+    # The optimizer front door runs on every case: whatever strategy the
+    # rewrites select (unfolded, one-sided schema, counting, magic,
+    # semi-naive) must agree with the reference answers.
+    optimized = answer(program, database, query, strategy="auto", counting_depth=COUNTING_DEPTH_BOUND)
+    report.engines["optimized"] = "ok"
+    report.strategies["optimized"] = optimized.strategy
+    if optimized.answers != reference:
+        report.mismatches.append(
+            f"optimized ({optimized.strategy}): {len(optimized.answers)} answers vs "
+            f"reference {len(reference)} "
+            f"(optimized-only sample {sorted(optimized.answers - reference)[:5]}, "
+            f"reference-only sample {sorted(reference - optimized.answers)[:5]})"
+        )
 
     return report
 

@@ -1,13 +1,17 @@
 """Seeded random program + database generator for differential testing.
 
 Every case is produced deterministically from one integer seed: a *family*
-(chain, tree, cyclic, cross-product, one-sided, two-sided — the shapes the
-paper's analysis distinguishes and the ``workloads`` package models), a
-program drawn from the canonical definitions, a randomized database sized for
-fast fixpoints, and a single-column selection query.  The differential runner
-(:mod:`repro.testing.differential`) evaluates each case under every engine and
-asserts tuple-for-tuple agreement, which gives the test suite an unbounded
-supply of scenarios beyond the hand-written fixtures.
+(chain, tree, cyclic, cross-product, one-sided, two-sided, bounded — the
+shapes the paper's analysis distinguishes and the ``workloads`` package
+models), a program drawn from the canonical definitions, a randomized
+database sized for fast fixpoints, and a single-column selection query.  The
+differential runner (:mod:`repro.testing.differential`) evaluates each case
+under every engine and asserts tuple-for-tuple agreement, which gives the
+test suite an unbounded supply of scenarios beyond the hand-written fixtures.
+
+The *bounded* family draws uniformly bounded recursions (guard, swap and
+Appendix A shapes), so the optimizer's bounded-recursion unfolding pass is
+exercised — and cross-checked against every other engine — on every batch.
 """
 
 from __future__ import annotations
@@ -21,6 +25,9 @@ from ..datalog.rules import Program
 from ..engine.query import SelectionQuery
 from ..workloads.graphs import chain, cycle, edge_database, uniform_tree
 from ..workloads.programs import (
+    appendix_a_p,
+    bounded_guard_tc,
+    bounded_swap,
     buys_optimized,
     canonical_two_sided,
     same_generation,
@@ -28,7 +35,7 @@ from ..workloads.programs import (
     transitive_closure,
 )
 
-FAMILIES = ("chain", "tree", "cyclic", "cross", "one_sided", "two_sided")
+FAMILIES = ("chain", "tree", "cyclic", "cross", "one_sided", "two_sided", "bounded")
 
 
 @dataclass
@@ -179,6 +186,38 @@ def generate_case(seed: int) -> DifferentialCase:
                     if rng.random() < 0.6:
                         database.add_fact("p", (source, target))
             description = f"transitive closure with permissions over a {length}-chain"
+            query = _pick_query(rng, "t", database)
+
+    elif family == "bounded":
+        # Uniformly bounded recursions: the unfolding pass rewrites these to
+        # nonrecursive unions, and the differential runner checks the rewrite
+        # against the fixpoint engines tuple for tuple.
+        shape = rng.choice(("guard", "swap", "appendix_a"))
+        if shape == "appendix_a":
+            program = appendix_a_p()
+            domain = rng.randrange(4, 14)
+            database = Database()
+            database.declare("c", 1)
+            database.declare("p0", 2)
+            for value in range(domain):
+                if rng.random() < 0.6:
+                    database.add_fact("c", (value,))
+            for _ in range(rng.randrange(2, domain + 4)):
+                database.add_fact("p0", (rng.randrange(domain), rng.randrange(domain)))
+            description = f"Appendix A bounded program over domain {domain}"
+            query = _pick_query(rng, "p", database)
+        else:
+            program = bounded_guard_tc() if shape == "guard" else bounded_swap()
+            domain = rng.randrange(4, 14)
+            nodes = list(range(domain))
+            database = Database()
+            database.declare("a", 2)
+            database.declare("b", 2)
+            for edge in _any_extras(rng, nodes, rng.randrange(2, domain + 4)):
+                database.add_fact("a", edge)
+            for edge in _any_extras(rng, nodes, rng.randrange(1, domain + 2)):
+                database.add_fact("b", edge)
+            description = f"bounded {shape} recursion over domain {domain}"
             query = _pick_query(rng, "t", database)
 
     else:  # two_sided

@@ -21,6 +21,10 @@ buys_optimized        the same recursion after removing ``cheap(Y)``
 tc_with_permissions   Example 4.1, "transitive closure with permissions"
                       (rule reconstructed, see DESIGN.md)
 appendix_a_p          Example A.1's bounded program P
+bounded_guard_tc      a uniformly bounded guard recursion (witness depth 1);
+                      exercises the Theorem 3.3 → unfolding rewrite
+bounded_swap          a uniformly bounded swap recursion (witness depth 2);
+                      the E14 unfolding benchmark's workload
 unbounded_p           an unbounded single-IDB program used as the negative
                       case for the Appendix A reduction
 ====================  =====================================================
@@ -144,6 +148,39 @@ def tc_with_permissions() -> Program:
     )
 
 
+def bounded_guard_tc() -> Program:
+    """A uniformly bounded "guarded" recursion: the recursive rule derives nothing.
+
+    ``a(X, Y)`` mentions only distinguished variables, so it is recursively
+    redundant (Theorem 3.3) and the recursion is uniformly bounded with
+    witness depth 1 — the relation is exactly ``b``.  The unfolding pass
+    rewrites it to the single exit rule.
+    """
+    return parse_program(
+        """
+        t(X, Y) :- a(X, Y), t(X, Y).
+        t(X, Y) :- b(X, Y).
+        """
+    )
+
+
+def bounded_swap() -> Program:
+    """A uniformly bounded recursion with witness depth 2 (the "swap" family).
+
+    The recursive call swaps the distinguished variables, so depth-2 strings
+    fold into depth-0 strings and the recursion equals
+    ``b(X, Y) ∪ (a(X, Y) ∧ b(Y, X))``.  Semi-naive evaluation still iterates
+    over the data; the unfolding pass reduces it to two nonrecursive rules,
+    which is what the E14 benchmark measures.
+    """
+    return parse_program(
+        """
+        t(X, Y) :- a(X, Y), t(Y, X).
+        t(X, Y) :- b(X, Y).
+        """
+    )
+
+
 def appendix_a_p() -> Program:
     """Example A.1's program P: bounded (the recursive rule derives nothing new)."""
     return parse_program(
@@ -193,6 +230,8 @@ ALL_CANONICAL = {
     "buys_optimized": buys_optimized,
     "tc_with_permissions": tc_with_permissions,
     "appendix_a_p": appendix_a_p,
+    "bounded_guard_tc": bounded_guard_tc,
+    "bounded_swap": bounded_swap,
     "unbounded_p": unbounded_p,
 }
 """Name → factory map over every canonical program (handy for parametrised tests)."""

@@ -1,10 +1,16 @@
 """Differential fuzzing: all engines must agree on seeded random cases.
 
-This is the permanent tier-1 foothold of the ``repro.testing`` harness: 60
+This is the permanent tier-1 foothold of the ``repro.testing`` harness: 84
 deterministic seeds spanning every generator family (chain, tree, cyclic,
-cross-product, one-sided, two-sided) run through naive, semi-naive, magic
-sets and counting, asserting identical results tuple for tuple.  Any failure
-names its seed, so it reproduces with ``generate_case(seed)``.
+cross-product, one-sided, two-sided, bounded) run through naive, semi-naive,
+magic sets, counting and the optimizer front door (``repro.answer`` with
+``strategy="auto"``, which exercises bounded-recursion unfolding, the
+one-sided schema, counting and magic as the rewrites dictate), asserting
+identical results tuple for tuple.  Any failure names its seed, so it
+reproduces with ``generate_case(seed)``.
+
+The bounded family gets extra dedicated seeds beyond the base batch so the
+unfolding pass sees a wider spread of shapes and databases.
 """
 
 from __future__ import annotations
@@ -19,12 +25,29 @@ from repro.testing import (
     run_differential,
 )
 
-SEED_COUNT = 60
+SEED_COUNT = 84
+
+#: extra seeds that land on the bounded family (seed % len(FAMILIES) picks it)
+BOUNDED_INDEX = FAMILIES.index("bounded")
+BOUNDED_EXTRA_SEEDS = [
+    seed
+    for seed in range(SEED_COUNT, SEED_COUNT + 20 * len(FAMILIES))
+    if seed % len(FAMILIES) == BOUNDED_INDEX
+][:16]
 
 
 @pytest.mark.parametrize("seed", range(SEED_COUNT))
 def test_engines_agree_on_seeded_case(seed):
     report = run_differential(generate_case(seed))
+    assert report.ok, report.summary() + "\n" + "\n".join(report.mismatches)
+
+
+@pytest.mark.parametrize("seed", BOUNDED_EXTRA_SEEDS)
+def test_bounded_family_extra_seeds(seed):
+    """Deeper coverage for the family that drives the unfolding pass."""
+    case = generate_case(seed)
+    assert case.family == "bounded"
+    report = run_differential(case)
     assert report.ok, report.summary() + "\n" + "\n".join(report.mismatches)
 
 
@@ -45,7 +68,8 @@ def test_batch_covers_every_family_and_engine():
     Each generator family appears in the batch, and each engine runs (not
     "skipped") on a healthy share of the cases — magic on every case with a
     bound column, counting on a substantial minority (its scope excludes
-    non-chain shapes, IDB exit rules, column-1 queries and cyclic data).
+    non-chain shapes, IDB exit rules, column-1 queries and cyclic data), and
+    the optimizer front door on every single case.
     """
     cases = generate_cases(SEED_COUNT)
     assert {case.family for case in cases} == set(FAMILIES)
@@ -56,6 +80,22 @@ def test_batch_covers_every_family_and_engine():
     assert coverage["seminaive"] == SEED_COUNT
     assert coverage["magic"] >= SEED_COUNT * 0.9
     assert coverage["counting"] >= SEED_COUNT * 0.25
+    assert coverage["optimized"] == SEED_COUNT
+
+
+def test_unfolding_actually_fires_on_bounded_cases():
+    """Every bounded-family case must be answered by the unfolding rewrite.
+
+    The bounded generator only emits uniformly bounded recursions, so the
+    optimizer front door should evaluate each of them recursion-free; if it
+    ever falls back to a fixpoint strategy here, the unfolding pass has
+    silently regressed.
+    """
+    cases = [case for case in generate_cases(SEED_COUNT) if case.family == "bounded"]
+    assert cases, "the batch lost its bounded family"
+    reports, _coverage = run_batch(cases)
+    strategies = [report.strategies.get("optimized", "") for report in reports]
+    assert all("unfolded" in strategy for strategy in strategies), strategies
 
 
 def test_queries_sometimes_empty_and_sometimes_bind_column_one():

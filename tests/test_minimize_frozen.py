@@ -1,0 +1,70 @@
+"""Tests for the ``frozen``-variable path of :func:`repro.cq.minimize.minimize`.
+
+``frozen`` lists extra variables the folding must preserve beyond the
+distinguished ones; redundancy removal and the unfolding pass use it when a
+string will later be recombined with other atoms.  The path previously had
+no direct tests.
+"""
+
+from __future__ import annotations
+
+from repro.cq.minimize import is_minimal, minimize
+from repro.cq.strings import ExpansionString
+from repro.datalog import parse_atom
+from repro.datalog.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def two_branch_string() -> ExpansionString:
+    """``t(X) :- a(X, Y), a(X, Z)`` — the two branches fold onto each other."""
+    return ExpansionString((X,), (parse_atom("a(X, Y)"), parse_atom("a(X, Z)")))
+
+
+class TestFrozenVariables:
+    def test_without_frozen_the_branches_fold(self):
+        minimized = minimize(two_branch_string())
+        assert len(minimized.atoms) == 1
+
+    def test_freezing_one_variable_keeps_its_atom(self):
+        minimized = minimize(two_branch_string(), frozen={Y})
+        assert minimized.atoms == (parse_atom("a(X, Y)"),)
+
+    def test_freezing_the_other_variable_keeps_the_other_atom(self):
+        minimized = minimize(two_branch_string(), frozen={Z})
+        assert minimized.atoms == (parse_atom("a(X, Z)"),)
+
+    def test_freezing_both_variables_blocks_all_folding(self):
+        string = two_branch_string()
+        assert minimize(string, frozen={Y, Z}) == string
+
+    def test_frozen_variable_absent_from_string_changes_nothing(self):
+        string = two_branch_string()
+        assert minimize(string, frozen={Variable("Q")}).atoms == minimize(string).atoms
+
+    def test_frozen_preserved_through_longer_chains(self):
+        """A frozen midpoint keeps its chain atoms; a free one folds away."""
+        chain = ExpansionString(
+            (X,),
+            (parse_atom("e(X, Y)"), parse_atom("e(Y, Z)"), parse_atom("e(X, W)")),
+        )
+        free = minimize(chain)
+        assert len(free.atoms) == 2  # e(X, W) folds onto e(X, Y)
+        frozen = minimize(chain, frozen={Variable("W")})
+        assert parse_atom("e(X, W)") in frozen.atoms
+
+    def test_provenance_follows_the_kept_atoms(self):
+        from repro.cq.strings import AtomProvenance
+
+        string = ExpansionString(
+            (X,),
+            (parse_atom("a(X, Y)"), parse_atom("a(X, Z)")),
+            (AtomProvenance(0, False), AtomProvenance(1, True)),
+        )
+        minimized = minimize(string, frozen={Z})
+        assert minimized.atoms == (parse_atom("a(X, Z)"),)
+        assert minimized.provenance == (AtomProvenance(1, True),)
+
+    def test_is_minimal_ignores_frozen(self):
+        assert not is_minimal(two_branch_string())
+        assert is_minimal(minimize(two_branch_string()))

@@ -1,0 +1,103 @@
+"""Error-path tests for :mod:`repro.datalog.parser`.
+
+The parser reports positions in :class:`ParseError`; inconsistent predicate
+arities surface as :class:`SchemaError` when the parsed rules are assembled
+into a :class:`Program`.  These paths had no direct tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import (
+    ParseError,
+    SchemaError,
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+
+
+class TestMalformedRules:
+    def test_missing_body_after_neck(self):
+        with pytest.raises(ParseError, match="unexpected end of input"):
+            parse_rule("t(X, Y) :-")
+
+    def test_missing_terminator(self):
+        with pytest.raises(ParseError, match="unexpected end of input"):
+            parse_rule("t(X, Y) :- a(X, Y)")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_rule("t(X, Y :- a(X, Y).")
+
+    def test_bad_neck_token(self):
+        with pytest.raises(ParseError, match="expected ':-'"):
+            parse_rule("t(X, Y) a(X, Y).")
+
+    def test_variable_as_predicate_name(self):
+        with pytest.raises(ParseError, match="expected a predicate name"):
+            parse_rule("T(X, Y) :- a(X, Y).")
+
+    def test_trailing_input_after_rule(self):
+        with pytest.raises(ParseError, match="trailing input"):
+            parse_rule("t(X, Y) :- a(X, Y). extra")
+
+    def test_unterminated_quoted_constant(self):
+        with pytest.raises(ParseError, match="unterminated quoted constant"):
+            parse_rule("t(X) :- a(X, 'oops).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_rule("t(X) :- a(X) & b(X).")
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("t(X, Y) :- a(X, Y).\nt(X, Y) ;- b(X, Y).")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestMalformedQueriesAndAtoms:
+    def test_query_inside_program_rejected(self):
+        with pytest.raises(ParseError, match="queries are not allowed inside a program"):
+            parse_program("t(X, Y) :- a(X, Y). t(1, Y)?")
+
+    def test_rule_where_query_expected(self):
+        with pytest.raises(ParseError, match="a query must be a single atom"):
+            parse_query("t(X, Y) :- a(X, Y).")
+
+    def test_query_where_rule_expected(self):
+        with pytest.raises(ParseError, match="found a query where a rule was expected"):
+            parse_rule("t(1, Y)?")
+
+    def test_trailing_input_after_atom(self):
+        with pytest.raises(ParseError, match="trailing input after atom"):
+            parse_atom("t(X, Y) t(Y, Z)")
+
+    def test_trailing_input_after_query(self):
+        with pytest.raises(ParseError, match="trailing input after query"):
+            parse_query("t(1, Y)? t(2, Z)?")
+
+
+class TestArityMismatches:
+    def test_head_and_body_arity_conflict(self):
+        with pytest.raises(SchemaError, match="used with arities"):
+            parse_program("t(X, Y) :- a(X). t(X) :- b(X).")
+
+    def test_same_predicate_two_arities_across_rules(self):
+        with pytest.raises(SchemaError, match="used with arities"):
+            parse_program(
+                """
+                t(X, Y) :- a(X, Y).
+                s(X) :- t(X).
+                """
+            )
+
+    def test_fact_arity_conflicts_with_rule(self):
+        with pytest.raises(SchemaError, match="used with arities"):
+            parse_program("a(1, 2). t(X) :- a(X).")
+
+    def test_consistent_arities_parse_fine(self):
+        program = parse_program("t(X, Y) :- a(X, Y). t(X, Y) :- b(X, Y).")
+        assert program.arity_of("t") == 2
