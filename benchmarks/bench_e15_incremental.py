@@ -1,0 +1,218 @@
+"""E15 — incremental view maintenance vs. from-scratch recomputation.
+
+Reproduced claim (the delta idea, applied across time): semi-naive evaluation
+avoids re-deriving within a fixpoint by joining only against what changed in
+the previous iteration; a materialized view maintained by the same compiled
+delta variants avoids re-deriving *across updates* by joining only against
+what changed in the database.  For small deltas the maintenance work should
+be proportional to the change's consequences, while recomputation stays
+proportional to the whole database — the same tuples-examined separation the
+one-sided schema shows within one query (E12), now over an update stream.
+
+Workloads, riding the E12/E14 families:
+
+* **e12 forest** — transitive closure over disjoint binary trees (the E12
+  reach-sweep database); the update stream grafts and prunes single edges,
+  each touching one tree while recomputation re-derives the whole forest.
+  Exercises the DRed strategy, deletions included.
+* **e14 bounded swap** — the bounded recursion of E14; view registration
+  unfolds it and maintenance runs counting over the nonrecursive form, so
+  each update costs a handful of delta-first probes.
+
+Each stream interleaves a fresh ``t(c, Y)?`` selection after every update,
+answered by the view as one indexed lookup; the recomputation baseline pays
+a full ``seminaive_evaluate`` per update (the pre-``Session`` serving cost).
+Emitted to ``BENCH_e15.json``: tuples examined and wall clock for both
+sides, plus their ratios.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Session
+from repro.datalog import Database
+from repro.engine import SelectionQuery, seminaive_evaluate
+from repro.workloads import bounded_swap, edge_database, random_pairs, transitive_closure, uniform_tree
+from .helpers import attach, emit, run_once
+
+TREES = 8
+TREE_DEPTH = 5
+
+
+def forest_workload():
+    """The E12-style forest plus a deterministic graft/prune update stream."""
+    edges = []
+    for index in range(TREES):
+        offset = index * 10_000
+        edges.extend(
+            (offset + parent, offset + child) for parent, child in uniform_tree(2, TREE_DEPTH)
+        )
+    database = edge_database(edges)
+    updates = []
+    for index in range(TREES):
+        offset = index * 10_000
+        leaf = offset + 2 ** TREE_DEPTH  # a node on the deepest level
+        updates.append(("insert", "a", (leaf, offset + 9_000 + index)))
+        updates.append(("delete", "a", (offset, offset + 1)))  # prune a root edge
+    query = SelectionQuery.of("t", 2, {0: 0})
+    return transitive_closure(), database, updates, query
+
+
+def bounded_workload(size: int = 2000):
+    """The E14 bounded-swap database plus single-pair insert/delete updates."""
+    domain = max(8, size // 2)
+    a = random_pairs(size, domain, seed=size)
+    b = random_pairs(size, domain, seed=size + 1)
+    database = Database.from_dict({"a": a, "b": b})
+    updates = []
+    for index in range(12):
+        updates.append(("insert", "b", (domain + index, domain + index + 1)))
+        updates.append(("delete", "b", b[(index * 37) % len(b)]))
+    query = SelectionQuery.of("t", 2, {0: a[len(a) // 2][0]})
+    return bounded_swap(), database, updates, query
+
+
+def run_incremental(program, database, updates, query):
+    """Maintain a Session across the stream; query the view after every update."""
+    session = Session(program, database.copy())
+    examined = 0
+    answers = []
+    started = time.perf_counter()
+    for op, name, row in updates:
+        if op == "insert":
+            session.insert(name, row)
+        else:
+            session.delete(name, row)
+        examined += session.last_stats.tuples_examined
+        result = session.query(query)
+        examined += result.stats.tuples_examined
+        answers.append(frozenset(result.answers))
+    elapsed = time.perf_counter() - started
+    return examined, elapsed, answers, session
+
+
+def run_recompute(program, database, updates, query):
+    """The baseline: mutate a plain database and re-evaluate from scratch each time."""
+    scratch = database.copy()
+    examined = 0
+    answers = []
+    started = time.perf_counter()
+    for op, name, row in updates:
+        if op == "insert":
+            scratch.add_fact(name, row)
+        else:
+            scratch.remove_fact(name, row)
+        from repro.engine import EvaluationStats
+
+        stats = EvaluationStats()
+        derived = seminaive_evaluate(program, scratch, stats)
+        examined += stats.tuples_examined
+        answers.append(frozenset(query.select(derived[query.predicate].rows())))
+    elapsed = time.perf_counter() - started
+    return examined, elapsed, answers
+
+
+def comparison_row(label, program, database, updates, query):
+    incremental_examined, incremental_seconds, incremental_answers, session = run_incremental(
+        program, database, updates, query
+    )
+    recompute_examined, recompute_seconds, recompute_answers = run_recompute(
+        program, database, updates, query
+    )
+    assert incremental_answers == recompute_answers, f"{label}: answers diverged"
+    assert incremental_examined < recompute_examined, (
+        f"{label}: incremental examined {incremental_examined} tuples, "
+        f"recompute only {recompute_examined}"
+    )
+    row = [
+        label,
+        session.view.strategy,
+        len(updates),
+        incremental_examined,
+        recompute_examined,
+        round(recompute_examined / max(1, incremental_examined), 1),
+        round(recompute_seconds / max(1e-9, incremental_seconds), 1),
+    ]
+    extra = {
+        "strategy": session.view.strategy,
+        "updates": len(updates),
+        "incremental_tuples_examined": incremental_examined,
+        "recompute_tuples_examined": recompute_examined,
+        "examined_ratio": round(recompute_examined / max(1, incremental_examined), 2),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "recompute_seconds": round(recompute_seconds, 6),
+        "wallclock_ratio": round(recompute_seconds / max(1e-9, incremental_seconds), 2),
+        "maintenance_inserted": session.maintenance_stats.tuples_inserted,
+        "maintenance_deleted": session.maintenance_stats.tuples_deleted,
+        "maintenance_rederived": session.maintenance_stats.tuples_rederived,
+    }
+    return row, extra
+
+
+def test_e15_forest_stream_agrees_and_examines_fewer_tuples(benchmark):
+    program, database, updates, query = forest_workload()
+
+    def compare():
+        return comparison_row("e12 forest / dred", program, database, updates, query)
+
+    row, extra = run_once(benchmark, compare)
+    assert extra["examined_ratio"] > 1.0
+    attach(benchmark, **extra)
+
+
+def test_e15_bounded_stream_agrees_and_examines_fewer_tuples(benchmark):
+    program, database, updates, query = bounded_workload()
+
+    def compare():
+        return comparison_row("e14 bounded swap / counting", program, database, updates, query)
+
+    row, extra = run_once(benchmark, compare)
+    assert extra["strategy"] == "counting"
+    assert extra["examined_ratio"] > 1.0
+    attach(benchmark, **extra)
+
+
+def test_e15_report(benchmark):
+    def build():
+        rows = []
+        for label, workload in (
+            ("e12 forest / dred", forest_workload),
+            ("e14 bounded swap / counting", bounded_workload),
+        ):
+            row, _extra = comparison_row(label, *workload())
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "E15: incremental maintenance vs from-scratch recompute over update streams",
+        [
+            "workload / strategy",
+            "strategy",
+            "updates",
+            "incremental examined",
+            "recompute examined",
+            "examined ratio",
+            "wall-clock ratio",
+        ],
+        rows,
+    )
+    attach(benchmark, workloads=len(rows))
+
+
+@pytest.mark.parametrize("workload", [forest_workload, bounded_workload])
+def test_e15_view_stays_tuple_identical_across_the_stream(workload):
+    """The acceptance bar: view state equals recomputation after every update."""
+    program, database, updates, query = workload()
+    session = Session(program, database.copy())
+    for op, name, row in updates:
+        if op == "insert":
+            session.insert(name, row)
+        else:
+            session.delete(name, row)
+        reference = seminaive_evaluate(program, session.database)
+        for predicate, relation in session.view.derived.items():
+            assert relation.rows() == reference[predicate].rows(), (op, name, row, predicate)

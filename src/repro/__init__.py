@@ -74,8 +74,9 @@ from .optimize import (
     optimize_program,
     unfold_bounded,
 )
+from .incremental import MaterializedView, Session, ViewProvenance, ViewRegistry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Atom",
@@ -83,6 +84,7 @@ __all__ = [
     "Database",
     "EvaluationError",
     "EvaluationStats",
+    "MaterializedView",
     "NotOneSidedError",
     "OneSidedSchema",
     "OptimizationResult",
@@ -96,8 +98,11 @@ __all__ = [
     "Rule",
     "SchemaError",
     "SelectionQuery",
+    "Session",
     "UnfoldedDefinition",
     "Variable",
+    "ViewProvenance",
+    "ViewRegistry",
     "__version__",
     "aho_ullman_selection",
     "answer",

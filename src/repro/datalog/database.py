@@ -5,6 +5,19 @@ objects.  It is the "extent" that defines EDB predicates in Section 2 of the
 paper.  Evaluation strategies receive a database plus a program and produce
 relations for the IDB predicates; they never mutate the input database unless
 explicitly asked to (``materialize``).
+
+Mutation hooks
+--------------
+Downstream layers (the incremental view registry in
+:mod:`repro.incremental`) need to observe fact-level updates to keep derived
+state consistent.  A :class:`DatabaseListener` registered through
+:meth:`Database.add_listener` is called around every *effective* change made
+through the fact APIs (``add_fact``/``insert_facts``/``remove_fact``/
+``remove_facts``): the ``before_*`` hook sees the database in its old state,
+the ``after_*`` hook in its new state, and both receive only the rows that
+actually change (already-present insertions and absent deletions are
+filtered out).  Mutating a :class:`Relation` directly bypasses the hooks;
+code that wants observers notified must go through the database.
 """
 
 from __future__ import annotations
@@ -17,11 +30,37 @@ from .relation import Relation, Row, Value
 from .terms import Constant
 
 
+class DatabaseListener:
+    """Observer interface for fact-level database mutations (all no-ops).
+
+    ``rows`` is always the effective delta: for insertions, the tuples that
+    were absent and are being added; for deletions, the tuples that were
+    present and are being removed.  ``before_*`` runs with the database still
+    in its pre-mutation state, ``after_*`` with the mutation applied.
+    """
+
+    def before_insert(self, database: "Database", name: str, rows: Tuple[Row, ...]) -> None:
+        """Called before ``rows`` are added to relation ``name``."""
+
+    def after_insert(self, database: "Database", name: str, rows: Tuple[Row, ...]) -> None:
+        """Called after ``rows`` were added to relation ``name``."""
+
+    def before_delete(self, database: "Database", name: str, rows: Tuple[Row, ...]) -> None:
+        """Called before ``rows`` are removed from relation ``name``."""
+
+    def after_delete(self, database: "Database", name: str, rows: Tuple[Row, ...]) -> None:
+        """Called after ``rows`` were removed from relation ``name``."""
+
+    def on_relation_replaced(self, database: "Database", name: str) -> None:
+        """Called when a whole relation is registered or replaced wholesale."""
+
+
 class Database:
     """A mutable collection of named relations."""
 
     def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
         self._relations: Dict[str, Relation] = {}
+        self._listeners: List[DatabaseListener] = []
         for relation in relations or ():
             self.add_relation(relation)
 
@@ -57,6 +96,8 @@ class Database:
     def add_relation(self, relation: Relation) -> None:
         """Register a relation, replacing any previous relation of the same name."""
         self._relations[relation.name] = relation
+        for listener in self._listeners:
+            listener.on_relation_replaced(self, relation.name)
 
     def declare(self, name: str, arity: int) -> Relation:
         """Ensure a (possibly empty) relation of the given name and arity exists."""
@@ -73,11 +114,83 @@ class Database:
 
     def add_fact(self, name: str, row: Sequence[Value]) -> bool:
         """Insert one tuple, creating the relation on first use."""
+        if self._listeners:
+            return self.insert_facts(name, (row,)) == 1
         relation = self._relations.get(name)
         if relation is None:
             relation = Relation(name, len(tuple(row)))
             self._relations[name] = relation
         return relation.add(row)
+
+    def insert_facts(self, name: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Insert many tuples into one relation, firing the mutation hooks once.
+
+        Creates the relation on first use (arity inferred from the first
+        tuple).  Returns how many tuples were actually new; listeners see
+        exactly that effective delta, duplicates removed, order preserved.
+        """
+        tupled = [tuple(row) for row in rows]
+        if not tupled:
+            return 0
+        relation = self._relations.get(name)
+        arity = relation.arity if relation is not None else len(tupled[0])
+        for row in tupled:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"relation {name} has arity {arity}, got tuple of length {len(row)}"
+                )
+        if relation is None:
+            # register only after the whole batch validates, so a rejected
+            # batch cannot leave a wrong-arity relation behind
+            relation = Relation(name, arity)
+            self._relations[name] = relation
+        fresh = tuple(dict.fromkeys(row for row in tupled if row not in relation))
+        if not fresh:
+            return 0
+        for listener in self._listeners:
+            listener.before_insert(self, name, fresh)
+        relation.add_all(fresh)
+        for listener in self._listeners:
+            listener.after_insert(self, name, fresh)
+        return len(fresh)
+
+    def remove_fact(self, name: str, row: Sequence[Value]) -> bool:
+        """Remove one tuple if present, mirroring :meth:`add_fact`."""
+        return self.remove_facts(name, (row,)) == 1
+
+    def remove_facts(self, name: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Remove many tuples from one relation, firing the mutation hooks once.
+
+        Unknown relations and absent tuples are no-ops.  Returns how many
+        tuples were actually removed; listeners see exactly that effective
+        delta, with ``before_delete`` running while the tuples are still
+        present and ``after_delete`` once they are gone.
+        """
+        relation = self._relations.get(name)
+        if relation is None:
+            return 0
+        present = tuple(dict.fromkeys(row for row in (tuple(r) for r in rows) if row in relation))
+        if not present:
+            return 0
+        for listener in self._listeners:
+            listener.before_delete(self, name, present)
+        relation.discard_all(present)
+        for listener in self._listeners:
+            listener.after_delete(self, name, present)
+        return len(present)
+
+    # ------------------------------------------------------------------
+    # mutation listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: DatabaseListener) -> None:
+        """Register a mutation observer (see :class:`DatabaseListener`)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: DatabaseListener) -> None:
+        """Deregister a mutation observer; unknown listeners are a no-op."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def add_fact_atom(self, atom: Atom) -> bool:
         """Insert a ground atom as a fact."""

@@ -67,11 +67,14 @@ class Relation:
                 added += 1
         return added
 
-    def discard(self, row: Sequence[Value]) -> None:
-        """Remove a tuple if present (indexes are maintained in place)."""
+    def discard(self, row: Sequence[Value]) -> bool:
+        """Remove a tuple if present (indexes are maintained in place).
+
+        Returns ``True`` when the tuple was present, mirroring :meth:`add`.
+        """
         tupled = tuple(row)
         if tupled not in self._rows:
-            return
+            return False
         self._rows.discard(tupled)
         for columns, index in self._indexes.items():
             key = tuple(tupled[c] for c in columns)
@@ -84,6 +87,15 @@ class Relation:
                 continue
             if not bucket:
                 del index[key]
+        return True
+
+    def discard_all(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Remove many tuples; returns how many were present (mirrors ``add_all``)."""
+        removed = 0
+        for row in rows:
+            if self.discard(row):
+                removed += 1
+        return removed
 
     def clear(self) -> None:
         """Remove every tuple, keeping the registered index column-sets.

@@ -3,6 +3,7 @@
 from .algebra import difference, join, project, scan, select, semijoin, union
 from .compile import (
     CompiledRule,
+    PlanCache,
     compile_delta_variants,
     compile_program_rules,
     compile_rule,
@@ -17,12 +18,19 @@ from .cq_eval import (
 from .instrumentation import EvaluationStats
 from .naive import naive_evaluate, naive_query
 from .query import QueryResult, SelectionQuery, answer, as_selection_query
-from .seminaive import seminaive_evaluate, seminaive_query
+from .seminaive import (
+    group_insert_closure,
+    overlay_relations,
+    propagate_insertions,
+    seminaive_evaluate,
+    seminaive_query,
+)
 from .strata import evaluation_strata, strongly_connected_components
 
 __all__ = [
     "CompiledRule",
     "EvaluationStats",
+    "PlanCache",
     "QueryResult",
     "SelectionQuery",
     "answer",
@@ -36,11 +44,14 @@ __all__ = [
     "evaluate_body_project",
     "evaluate_rule",
     "evaluation_strata",
+    "group_insert_closure",
     "join",
     "naive_evaluate",
     "naive_query",
+    "overlay_relations",
     "plan_order",
     "project",
+    "propagate_insertions",
     "scan",
     "select",
     "semijoin",

@@ -311,6 +311,40 @@ def compile_rule(
     )
 
 
+class PlanCache:
+    """Memoized :func:`compile_rule` keyed on ``(rule, first, bound)``.
+
+    A compiled plan depends only on the rule, the forced-first atom and the
+    compile-time bound variables — never on relation contents — so callers
+    that evaluate the same rule shapes repeatedly (a fixpoint, an incremental
+    maintenance stream) pay the compilation cost once per shape.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple[Rule, Optional[int], Tuple[Variable, ...]], CompiledRule] = {}
+
+    def get(
+        self,
+        rule: Rule,
+        relations: Optional[RelationMap] = None,
+        first: Optional[int] = None,
+        bound: Tuple[Variable, ...] = (),
+        stats: Optional[EvaluationStats] = None,
+    ) -> CompiledRule:
+        """The memoized compiled plan; compiles (and counts it) on first use."""
+        key = (rule, first, bound)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_rule(rule, relations, bound=bound, first=first)
+            self._plans[key] = plan
+            if stats is not None:
+                stats.record_plans_compiled()
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
 def compile_delta_variants(
     rule: Rule,
     delta_predicates: Set[str],

@@ -41,6 +41,14 @@ class EvaluationStats:
     peak_state_tuples: int = 0
     #: sum over state relations of (arity of the relation), at the peak
     peak_state_columns: int = 0
+    #: tuples added to a materialized view by incremental maintenance
+    tuples_inserted: int = 0
+    #: tuples removed from a materialized view by incremental maintenance
+    #: (DRed counts its whole overestimate here; the put-back phase counts
+    #: reinstated tuples under ``tuples_rederived``)
+    tuples_deleted: int = 0
+    #: tuples put back by DRed rederivation after an over-deletion
+    tuples_rederived: int = 0
     #: wall-clock seconds, when measured through :meth:`timed`
     elapsed_seconds: float = 0.0
     #: free-form per-strategy extras (e.g. "magic_rules", "carry_arity")
@@ -69,6 +77,18 @@ class EvaluationStats:
     def record_plans_compiled(self, count: int = 1) -> None:
         """Record join plans compiled for a fixpoint (engine-v2 bookkeeping)."""
         self.plans_compiled += count
+
+    def record_inserted(self, count: int = 1) -> None:
+        """Record tuples a maintenance step added to a materialized view."""
+        self.tuples_inserted += count
+
+    def record_deleted(self, count: int = 1) -> None:
+        """Record tuples a maintenance step removed from a materialized view."""
+        self.tuples_deleted += count
+
+    def record_rederived(self, count: int = 1) -> None:
+        """Record tuples DRed put back after an over-deletion."""
+        self.tuples_rederived += count
 
     def record_state(self, tuples: int, columns: int = 0) -> None:
         """Record the current size of the inter-iteration state.
@@ -105,6 +125,9 @@ class EvaluationStats:
         self.plans_compiled += other.plans_compiled
         self.peak_state_tuples = max(self.peak_state_tuples, other.peak_state_tuples)
         self.peak_state_columns = max(self.peak_state_columns, other.peak_state_columns)
+        self.tuples_inserted += other.tuples_inserted
+        self.tuples_deleted += other.tuples_deleted
+        self.tuples_rederived += other.tuples_rederived
         self.elapsed_seconds += other.elapsed_seconds
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value
@@ -121,6 +144,9 @@ class EvaluationStats:
             "plans_compiled": self.plans_compiled,
             "peak_state_tuples": self.peak_state_tuples,
             "peak_state_columns": self.peak_state_columns,
+            "tuples_inserted": self.tuples_inserted,
+            "tuples_deleted": self.tuples_deleted,
+            "tuples_rederived": self.tuples_rederived,
             "elapsed_seconds": self.elapsed_seconds,
         }
         result.update(self.extra)

@@ -14,9 +14,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..datalog.database import Database
 from ..datalog.relation import Relation, Row
 from ..datalog.rules import Program
-from .compile import compile_delta_variants, compile_program_rules
+from .compile import PlanCache, compile_delta_variants, compile_program_rules
 from .instrumentation import EvaluationStats
-from .strata import evaluation_strata, group_is_recursive
+from .strata import cached_evaluation_strata, evaluation_strata, group_is_recursive
 
 
 def seminaive_evaluate(
@@ -122,6 +122,163 @@ def _evaluate_group(
             stale.clear()
             current[predicate] = spare[predicate]
             spare[predicate] = stale
+
+
+def overlay_relations(database: Database, derived: Dict[str, Relation]) -> Dict[str, Relation]:
+    """Name → relation map with derived IDB relations shadowing stored ones.
+
+    The shared construction for every maintenance entry point: rules read the
+    materialized IDB state, everything else reads the database.
+    """
+    relations: Dict[str, Relation] = {r.name: r for r in database.relations()}
+    relations.update(derived)
+    return relations
+
+
+def group_insert_closure(
+    program: Program,
+    group: List[str],
+    relations: Dict[str, Relation],
+    derived: Dict[str, Relation],
+    seeds: Dict[str, Set[Row]],
+    external: Dict[str, Set[Row]],
+    stats: EvaluationStats,
+    cache: Optional[PlanCache] = None,
+) -> Dict[str, Set[Row]]:
+    """Close one stratum over freshly inserted tuples (one delta round).
+
+    ``derived`` holds the group's materialized relations, already containing
+    the direct ``seeds``; ``external`` maps changed *non-group* predicate
+    names to their inserted rows, with ``relations`` reading the post-change
+    state everywhere.  Two phases, both riding the compiled delta variants of
+    :mod:`repro.engine.compile`:
+
+    1. every occurrence of an externally changed predicate in a group rule is
+       evaluated once with that occurrence overridden by the delta (any new
+       derivation must use at least one inserted tuple, so this finds them
+       all — possibly enumerating a derivation twice, which set semantics
+       absorbs);
+    2. the newly derived group tuples seed the ordinary semi-naive delta
+       iteration of the group's recursive rules until no tuple is new.
+
+    ``cache`` memoizes the compiled plans across calls (an update stream pays
+    compilation once per rule shape); without one, plans compile per call,
+    exactly as the fixpoint engine compiles per fixpoint.
+
+    Returns the rows this call added to each group relation (seeds included).
+    """
+    cache = cache if cache is not None else PlanCache()
+    group_set = set(group)
+    inserted: Dict[str, Set[Row]] = {p: set(seeds.get(p, ())) for p in group}
+    rules = [rule for predicate in group for rule in program.rules_for(predicate)]
+
+    changed = {name for name, rows in external.items() if rows and name not in group_set}
+    if changed:
+        overlays = {
+            name: Relation(f"delta_{name}", program.arity_of(name), external[name])
+            for name in changed
+            if name in program.predicates()
+        }
+        for rule in rules:
+            for index, atom in enumerate(rule.body):
+                if atom.predicate not in overlays:
+                    continue
+                plan = cache.get(rule, relations, first=index, stats=stats)
+                target = derived[rule.head.predicate]
+                fresh = inserted[rule.head.predicate]
+                for row in plan.evaluate(relations, stats=stats, overrides={index: overlays[atom.predicate]}):
+                    if target.add(row):
+                        fresh.add(row)
+                        stats.record_produced()
+
+    if group_is_recursive(program, group) and any(inserted.values()):
+        group_rules = [rule for rule in rules if any(p in group_set for p in rule.body_predicates())]
+        delta_plans = []
+        for rule in group_rules:
+            for index, atom in enumerate(rule.body):
+                if atom.predicate in group_set:
+                    plan = cache.get(rule, relations, first=index, stats=stats)
+                    delta_plans.append((atom.predicate, index, plan))
+
+        current = {p: Relation(f"delta_{p}", derived[p].arity, inserted[p]) for p in group}
+        spare = {p: Relation(f"delta_{p}", derived[p].arity) for p in group}
+        while any(not current[p].is_empty() for p in group):
+            stats.record_iteration()
+            stats.record_state(
+                sum(len(current[p]) for p in group),
+                sum(len(current[p]) * derived[p].arity for p in group),
+            )
+            for delta_predicate, occurrence, plan in delta_plans:
+                delta_relation = current[delta_predicate]
+                if delta_relation.is_empty():
+                    continue
+                seen = derived[plan.rule.head.predicate]
+                fresh_relation = spare[plan.rule.head.predicate]
+                for row in plan.evaluate(relations, stats=stats, overrides={occurrence: delta_relation}):
+                    if row not in seen:
+                        fresh_relation.add(row)
+            for predicate in group:
+                target = derived[predicate]
+                collected = inserted[predicate]
+                for row in spare[predicate].rows():
+                    if target.add(row):
+                        collected.add(row)
+                        stats.record_produced()
+                stale = current[predicate]
+                stale.clear()
+                current[predicate] = spare[predicate]
+                spare[predicate] = stale
+
+    return inserted
+
+
+def propagate_insertions(
+    program: Program,
+    database: Database,
+    derived: Dict[str, Relation],
+    deltas: Dict[str, Set[Row]],
+    stats: Optional[EvaluationStats] = None,
+    cache: Optional[PlanCache] = None,
+) -> Dict[str, Set[Row]]:
+    """Continue a finished fixpoint after base-fact insertions.
+
+    ``derived`` is the materialized minimal model of ``program`` over the
+    database *before* the insertion; ``database`` is the database *after* it;
+    ``deltas`` maps relation names to the rows just inserted (EDB relations,
+    or base facts of IDB predicates).  One delta round per stratum — seeded
+    by the inserted tuples instead of the whole relations — brings ``derived``
+    to the new minimal model in place, and the per-IDB sets of rows actually
+    added are returned.  This is the insertion half of incremental view
+    maintenance (:mod:`repro.incremental`): the same compiled delta variants
+    the fixpoint uses across iterations, reused across *time*.
+    """
+    stats = stats if stats is not None else EvaluationStats()
+    cache = cache if cache is not None else PlanCache()
+    relations = overlay_relations(database, derived)
+    known = program.predicates()
+    external: Dict[str, Set[Row]] = {
+        name: set(rows) for name, rows in deltas.items() if rows and name in known
+    }
+    inserted_total: Dict[str, Set[Row]] = {p: set() for p in derived}
+    for group in cached_evaluation_strata(program):
+        seeds: Dict[str, Set[Row]] = {p: set() for p in group}
+        for predicate in group:
+            # base facts inserted directly into a group predicate's relation
+            for row in external.get(predicate, ()):
+                if derived[predicate].add(row):
+                    seeds[predicate].add(row)
+                    stats.record_produced()
+        inserted = group_insert_closure(
+            program, group, relations, derived, seeds, external, stats, cache
+        )
+        for predicate in group:
+            if inserted[predicate]:
+                inserted_total[predicate] |= inserted[predicate]
+                external[predicate] = inserted[predicate]
+    total = sum(len(rows) for rows in inserted_total.values())
+    if total:
+        stats.record_inserted(total)
+    return inserted_total
 
 
 def seminaive_query(

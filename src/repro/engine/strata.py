@@ -9,7 +9,8 @@ evaluation schedule both the naive and the semi-naive engines use.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from functools import lru_cache
+from typing import Dict, List, Set, Tuple
 
 from ..datalog.rules import Program
 
@@ -97,6 +98,18 @@ def evaluation_strata(program: Program) -> List[List[str]]:
     # the condensation is children-first), which is already the order we want;
     # filter to IDB-only groups.
     return [component for component in components if any(p in idb for p in component)]
+
+
+@lru_cache(maxsize=256)
+def cached_evaluation_strata(program: Program) -> Tuple[Tuple[str, ...], ...]:
+    """:func:`evaluation_strata` memoized on the (immutable) program.
+
+    The incremental-maintenance paths recompute the schedule on every
+    update of a fixed program; programs are frozen and hashable, so the SCC
+    work is paid once per program instead of once per mutation.  Returns
+    tuples so cached values cannot be mutated by callers.
+    """
+    return tuple(tuple(group) for group in evaluation_strata(program))
 
 
 def group_is_recursive(program: Program, group: List[str]) -> bool:

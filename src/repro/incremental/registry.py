@@ -1,0 +1,102 @@
+"""The view registry: database mutation hooks fanned out to materialized views.
+
+A :class:`ViewRegistry` attaches to one :class:`~repro.datalog.database.Database`
+as a :class:`~repro.datalog.database.DatabaseListener` and owns any number of
+:class:`~repro.incremental.view.MaterializedView` instances.  Every effective
+fact-level mutation made through the database's fact APIs is routed to the
+views whose *maintenance* program mentions the mutated relation; the two-phase
+hook protocol lets each strategy read the state it needs (counting insertions
+and the DRed overestimate run pre-mutation, everything else post-mutation).
+
+Wholesale relation replacement (``Database.add_relation``) carries no delta,
+so affected views are invalidated instead and rebuilt on their next use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..datalog.database import Database, DatabaseListener
+from ..datalog.errors import SchemaError
+from ..datalog.relation import Row
+from ..datalog.rules import Program
+from ..engine.instrumentation import EvaluationStats
+from .view import MaterializedView
+
+
+class ViewRegistry(DatabaseListener):
+    """Materialized views over one database, kept fresh through its hooks."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.views: Dict[str, MaterializedView] = {}
+        #: maintenance work of the most recent mutation, across all views
+        self.last_stats = EvaluationStats()
+        database.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        program: Program,
+        name: str = "default",
+        max_unfold_depth: int = 8,
+    ) -> MaterializedView:
+        """Pin ``program``'s IDB relations as a maintained view called ``name``."""
+        if name in self.views:
+            raise SchemaError(f"a view named {name} is already registered")
+        view = MaterializedView(name, program, self.database, max_unfold_depth)
+        self.views[name] = view
+        return view
+
+    def drop(self, name: str) -> None:
+        """Deregister a view; unknown names raise :class:`SchemaError`."""
+        if name not in self.views:
+            raise SchemaError(f"no view named {name} is registered")
+        del self.views[name]
+
+    def view(self, name: str) -> MaterializedView:
+        """The view called ``name``; raises :class:`SchemaError` when unknown."""
+        if name not in self.views:
+            raise SchemaError(f"no view named {name} is registered")
+        return self.views[name]
+
+    def view_for(self, predicate: str) -> Optional[MaterializedView]:
+        """The first registered view materializing ``predicate``, if any."""
+        for view in self.views.values():
+            if predicate in view.predicates:
+                return view
+        return None
+
+    def detach(self) -> None:
+        """Stop observing the database (views stop being maintained)."""
+        self.database.remove_listener(self)
+
+    # ------------------------------------------------------------------
+    # DatabaseListener protocol
+    # ------------------------------------------------------------------
+    def _affected(self, name: str) -> List[MaterializedView]:
+        return [view for view in self.views.values() if view.relevant_to(name)]
+
+    def before_insert(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
+        self.last_stats = EvaluationStats()
+        for view in self._affected(name):
+            self.last_stats.merge(view.before_insert(database, name, rows))
+
+    def after_insert(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
+        for view in self._affected(name):
+            self.last_stats.merge(view.after_insert(database, name, rows))
+
+    def before_delete(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
+        self.last_stats = EvaluationStats()
+        for view in self._affected(name):
+            self.last_stats.merge(view.before_delete(database, name, rows))
+
+    def after_delete(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
+        for view in self._affected(name):
+            self.last_stats.merge(view.after_delete(database, name, rows))
+
+    def on_relation_replaced(self, database: Database, name: str) -> None:
+        for view in self._affected(name):
+            view.invalidate()

@@ -1,0 +1,165 @@
+"""``repro.Session`` — the serving front door over a mutating database.
+
+:func:`repro.answer` optimizes one query against one frozen database.  A
+:class:`Session` is its counterpart for the serving workload the ROADMAP
+targets: the program's IDB relations are materialized once at construction,
+kept incrementally correct by the view registry as facts are inserted and
+deleted, and queries against fresh views become plain indexed lookups —
+no fixpoint, no rewrite chain, no per-query evaluation at all.
+
+>>> from repro import Database, Session, parse_program
+>>> program = parse_program('''
+...     t(X, Y) :- a(X, Z), t(Z, Y).
+...     t(X, Y) :- b(X, Y).
+... ''')
+>>> db = Database.from_dict({"a": [(1, 2), (2, 3)], "b": [(3, 4)]})
+>>> session = Session(program, db)
+>>> sorted(session.query("t(1, Y)?").answers)
+[(1, 4)]
+>>> session.insert("b", (2, 9))
+1
+>>> sorted(session.query("t(1, Y)?").answers)
+[(1, 4), (1, 9)]
+>>> session.delete("b", (3, 4))
+1
+>>> sorted(session.query("t(1, Y)?").answers)
+[(1, 9)]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError
+from ..datalog.parser import parse_program
+from ..datalog.relation import Value
+from ..datalog.rules import Program
+from ..engine.instrumentation import EvaluationStats
+from ..engine.query import QueryResult, answer, as_selection_query
+from .registry import ViewRegistry
+from .view import MaterializedView
+
+RowsLike = Union[Sequence[Value], Iterable[Sequence[Value]]]
+
+
+def _as_rows(rows: RowsLike) -> list:
+    """Accept one row (a tuple of scalars) or an iterable of rows.
+
+    A bare string is one *value*, not an iterable of rows — iterating it
+    character by character would silently insert garbage single-character
+    tuples.  A flat tuple or list of scalars is one *row* (``[1, 2]`` and
+    ``(1, 2)`` both mean the single pair), so multiple single-column rows
+    must be spelled ``[(1,), (2,)]``.
+    """
+    if isinstance(rows, str):
+        return [(rows,)]
+    if isinstance(rows, (tuple, list)):
+        if rows and all(not isinstance(value, (tuple, list)) for value in rows):
+            return [tuple(rows)]
+        return [tuple(row) for row in rows]
+    return [tuple(row) if isinstance(row, (tuple, list)) else (row,) for row in rows]
+
+
+class Session:
+    """A database plus a maintained materialized view of one program.
+
+    ``insert``/``delete`` go through the database's mutation hooks, so the
+    view registry maintains every pinned relation in place; ``query`` routes
+    selections on materialized predicates straight to indexed lookups and
+    falls back to :func:`repro.answer` for anything else.
+    """
+
+    def __init__(
+        self,
+        program: Union[Program, str],
+        database: "Database | None" = None,
+        name: str = "default",
+        max_unfold_depth: int = 8,
+    ) -> None:
+        self.program = parse_program(program) if isinstance(program, str) else program
+        self.database = database if database is not None else Database()
+        self.registry = ViewRegistry(self.database)
+        self.view: MaterializedView = self.registry.materialize(
+            self.program, name=name, max_unfold_depth=max_unfold_depth
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, name: str, rows: RowsLike) -> int:
+        """Insert one row or many into relation ``name``; returns how many were new."""
+        # a no-op mutation fires no hooks, so clear last_stats up front lest
+        # it keep reporting the previous operation's work
+        self.registry.last_stats = EvaluationStats()
+        return self.database.insert_facts(name, _as_rows(rows))
+
+    def delete(self, name: str, rows: RowsLike) -> int:
+        """Delete one row or many from relation ``name``; returns how many were present."""
+        self.registry.last_stats = EvaluationStats()
+        return self.database.remove_facts(name, _as_rows(rows))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, query, strategy: str = "view") -> QueryResult:
+        """Answer a selection query, preferring the materialized view.
+
+        With ``strategy="view"`` (the default), a query on a materialized
+        predicate is a single indexed lookup against the maintained relation
+        (stale views are refreshed first), a query on a stored EDB relation
+        is a lookup against the database, and anything else goes through
+        :func:`repro.answer`.  Any other ``strategy`` value bypasses the view
+        and is handed to :func:`repro.answer` verbatim — useful for
+        cross-checking the view against live evaluation.
+        """
+        if strategy != "view":
+            return answer(self.program, self.database, query, strategy=strategy)
+        selection = as_selection_query(self.program, query)
+        view = self.registry.view_for(selection.predicate)
+        if view is not None:
+            if not view.fresh:
+                view.refresh(self.database)
+            stats = EvaluationStats()
+            stats.start_timer()
+            relation = view.relation(selection.predicate)
+            if relation.arity != selection.arity:
+                raise EvaluationError(
+                    f"query {selection} has arity {selection.arity}, but the view "
+                    f"materializes {selection.predicate}/{relation.arity}"
+                )
+            rows = relation.lookup(selection.bindings_dict())
+            stats.record_lookup(len(rows), restricted=bool(selection.bindings))
+            stats.stop_timer()
+            return QueryResult(
+                selection,
+                set(rows),
+                stats,
+                strategy=f"materialized-view ({view.strategy})",
+                provenance=view.provenance,
+            )
+        if self.database.has_relation(selection.predicate):
+            stats = EvaluationStats()
+            stats.start_timer()
+            relation = self.database.relation(selection.predicate)
+            rows = relation.lookup(selection.bindings_dict())
+            stats.record_lookup(len(rows), restricted=bool(selection.bindings))
+            stats.stop_timer()
+            return QueryResult(selection, set(rows), stats, strategy="edb-lookup")
+        return answer(self.program, self.database, query)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def maintenance_stats(self) -> EvaluationStats:
+        """Cumulative maintenance work of the session's view."""
+        return self.view.stats
+
+    @property
+    def last_stats(self) -> EvaluationStats:
+        """Maintenance work of the most recent insert/delete."""
+        return self.registry.last_stats
+
+    def __str__(self) -> str:
+        return f"Session({self.view!s} over {self.database!s})"

@@ -1,0 +1,237 @@
+"""Materialized views: pinned IDB relations that survive EDB updates.
+
+A :class:`MaterializedView` pins the derived relations of one program and
+keeps them tuple-for-tuple equal to from-scratch evaluation while the
+underlying database takes insertions and deletions.  Registration chooses a
+maintenance strategy the same way the query front door chooses an evaluation
+strategy — detection first, then the cheapest sound plan:
+
+* bounded recursions are rewritten to their unfolded nonrecursive form
+  (:mod:`repro.optimize.unfold`) and maintained there, so a provably bounded
+  view never pays fixpoint maintenance at all — and updates to atoms the
+  minimized union dropped are ignored outright, which the equivalence proof
+  licenses;
+* a view whose maintenance program is nonrecursive uses **counting**
+  (per-tuple derivation counts, exact deletions, no rederivation);
+* anything still recursive uses **DRed** (delete-and-rederive) for deletions
+  and a seeded semi-naive delta round for insertions.
+
+Every decision is recorded as :class:`~repro.optimize.passes.Rewrite`
+provenance, surfaced on query results through :class:`ViewProvenance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..datalog.database import Database
+from ..datalog.relation import Relation, Row
+from ..datalog.rules import Program
+from ..engine.compile import PlanCache
+from ..engine.instrumentation import EvaluationStats
+from ..engine.seminaive import propagate_insertions, seminaive_evaluate
+from ..engine.strata import evaluation_strata, group_is_recursive
+from ..optimize.passes import Rewrite
+from ..optimize.unfold import apply_unfolding, unfold_bounded
+from . import counting, dred
+
+#: strategy names, in the order registration tries them
+COUNTING = "counting"
+DRED = "dred"
+
+
+@dataclass
+class ViewProvenance:
+    """What a view's registration decided, in ``Rewrite`` provenance form."""
+
+    view: str
+    strategy: str
+    rewrites: List[Rewrite] = field(default_factory=list)
+
+    def fired(self) -> List[str]:
+        """Names of the registration steps that rewrote or decided something."""
+        return [rewrite.pass_name for rewrite in self.rewrites if rewrite.fired]
+
+    def describe(self) -> str:
+        """One line per registration step, mirroring ``OptimizationResult.describe``."""
+        return "\n".join(str(rewrite) for rewrite in self.rewrites)
+
+
+class MaterializedView:
+    """One program's IDB relations, maintained incrementally under updates."""
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        database: Database,
+        max_unfold_depth: int = 8,
+    ) -> None:
+        self.name = name
+        self.program = program
+        self.rewrites: List[Rewrite] = []
+        self.plan_cache = PlanCache()
+        #: cumulative maintenance work (insert/delete propagation only)
+        self.stats = EvaluationStats()
+        #: cost of the last from-scratch (re)computation
+        self.refresh_stats = EvaluationStats()
+        self.plan_program = self._unfold(program, database, max_unfold_depth)
+        #: predicate names whose updates can change this view (immutable for
+        #: the view's lifetime; checked twice per mutation, so precomputed)
+        self._relevant = frozenset(self.plan_program.predicates())
+        self.strategy = DRED if self._has_recursion(self.plan_program) else COUNTING
+        detail = (
+            "per-tuple derivation counts; deletions are exact decrements"
+            if self.strategy == COUNTING
+            else "delete-and-rederive; insertions ride a seeded semi-naive delta round"
+        )
+        self.rewrites.append(Rewrite("maintenance-strategy", True, f"{self.strategy} — {detail}"))
+        self.counting: Optional[counting.CountingState] = None
+        self.derived: Dict[str, Relation] = {}
+        self.fresh = False
+        self.refresh(database)
+
+    # ------------------------------------------------------------------
+    # registration-time rewriting
+    # ------------------------------------------------------------------
+    def _unfold(self, program: Program, database: Database, max_depth: int) -> Program:
+        """Rewrite every provably bounded recursion away before maintaining.
+
+        A predicate with base facts stored under its own name is skipped: the
+        boundedness witness equates the recursion with its rule expansions
+        only, so base facts feeding the recursive rule would make the
+        unfolded form unsound.
+        """
+        current = program
+        for predicate in program.stratum_order():
+            if not current.is_recursive_predicate(predicate):
+                continue
+            if not current.is_single_linear_recursion(predicate):
+                continue
+            if database.has_relation(predicate) and len(database.relation(predicate)):
+                continue
+            definition = unfold_bounded(current, predicate, max_depth)
+            if definition is None:
+                continue
+            current = apply_unfolding(current, definition)
+            self.rewrites.append(
+                Rewrite(
+                    "view-unfolding",
+                    True,
+                    f"{predicate} is bounded (witness depth {definition.witness_depth}); "
+                    f"maintained as {len(definition.rules)} nonrecursive rule(s)",
+                )
+            )
+        return current
+
+    @staticmethod
+    def _has_recursion(program: Program) -> bool:
+        return any(
+            group_is_recursive(program, group) for group in evaluation_strata(program)
+        )
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def predicates(self) -> Set[str]:
+        """The IDB predicates this view materializes."""
+        return set(self.derived)
+
+    @property
+    def provenance(self) -> ViewProvenance:
+        """The registration decisions as ``Rewrite`` provenance."""
+        return ViewProvenance(self.name, self.strategy, list(self.rewrites))
+
+    def relation(self, predicate: str) -> Relation:
+        """The materialized relation for ``predicate``."""
+        return self.derived[predicate]
+
+    def relevant_to(self, name: str) -> bool:
+        """``True`` when updates to relation ``name`` can change this view.
+
+        Uses the *maintenance* program: an atom the unfolding minimization
+        dropped is provably irrelevant, so its updates are skipped entirely.
+        """
+        return name in self._relevant
+
+    def refresh(self, database: Database) -> None:
+        """Recompute the view from scratch (used at registration and on staleness)."""
+        stats = EvaluationStats()
+        if self.strategy == COUNTING:
+            self.derived, self.counting = counting.initialize_counts(
+                self.plan_program, database, stats, self.plan_cache
+            )
+        else:
+            self.derived = seminaive_evaluate(self.plan_program, database, stats)
+        self.refresh_stats = stats
+        self.fresh = True
+
+    def invalidate(self) -> None:
+        """Mark the view stale; the next query or refresh rebuilds it."""
+        self.fresh = False
+
+    # ------------------------------------------------------------------
+    # maintenance phases (driven by the registry's database hooks)
+    # ------------------------------------------------------------------
+    def before_insert(self, database: Database, name: str, rows: Tuple[Row, ...]) -> EvaluationStats:
+        """Pre-mutation insertion phase (all counting work happens here)."""
+        stats = EvaluationStats()
+        if self.fresh and self.strategy == COUNTING:
+            counting.apply_insertions(
+                self.plan_program, database, self.derived, self.counting,
+                {name: set(rows)}, stats, self.plan_cache,
+            )
+            self.stats.merge(stats)
+        return stats
+
+    def after_insert(self, database: Database, name: str, rows: Tuple[Row, ...]) -> EvaluationStats:
+        """Post-mutation insertion phase (the DRed/semi-naive delta round)."""
+        stats = EvaluationStats()
+        if self.fresh and self.strategy == DRED:
+            stats.start_timer()
+            propagate_insertions(
+                self.plan_program, database, self.derived, {name: set(rows)},
+                stats, self.plan_cache,
+            )
+            stats.stop_timer()
+            self.stats.merge(stats)
+        return stats
+
+    def before_delete(self, database: Database, name: str, rows: Tuple[Row, ...]) -> EvaluationStats:
+        """Pre-mutation deletion phase (the DRed overestimate needs old state)."""
+        stats = EvaluationStats()
+        if self.fresh and self.strategy == DRED:
+            self._doomed = dred.overestimate_deletions(
+                self.plan_program, database, self.derived, {name: set(rows)},
+                stats, self.plan_cache,
+            )
+            self.stats.merge(stats)
+        return stats
+
+    def after_delete(self, database: Database, name: str, rows: Tuple[Row, ...]) -> EvaluationStats:
+        """Post-mutation deletion phase (counting decrements / DRed remove+rederive)."""
+        stats = EvaluationStats()
+        if not self.fresh:
+            return stats
+        if self.strategy == COUNTING:
+            counting.apply_deletions(
+                self.plan_program, database, self.derived, self.counting,
+                {name: set(rows)}, stats, self.plan_cache,
+            )
+        else:
+            doomed = getattr(self, "_doomed", None) or {}
+            self._doomed = None
+            dred.apply_deletions(
+                self.plan_program, database, self.derived, doomed, stats, self.plan_cache
+            )
+        self.stats.merge(stats)
+        return stats
+
+    def __str__(self) -> str:
+        sizes = ", ".join(f"{p}={len(r)}" for p, r in sorted(self.derived.items()))
+        return f"MaterializedView({self.name}, {self.strategy}, {sizes or 'empty'})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self!s}>"

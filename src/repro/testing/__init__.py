@@ -2,13 +2,29 @@
 
 from .differential import DifferentialReport, run_batch, run_differential
 from .generate import FAMILIES, DifferentialCase, generate_case, generate_cases
+from .updates import (
+    UpdateSequenceCase,
+    UpdateSequenceReport,
+    UpdateStep,
+    generate_update_sequence,
+    generate_update_sequences,
+    run_update_batch,
+    run_update_sequence,
+)
 
 __all__ = [
     "FAMILIES",
     "DifferentialCase",
     "DifferentialReport",
+    "UpdateSequenceCase",
+    "UpdateSequenceReport",
+    "UpdateStep",
     "generate_case",
     "generate_cases",
+    "generate_update_sequence",
+    "generate_update_sequences",
     "run_batch",
     "run_differential",
+    "run_update_batch",
+    "run_update_sequence",
 ]

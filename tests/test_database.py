@@ -93,3 +93,101 @@ class TestWholeDatabaseOperations:
         right = Database.from_dict({"a": [(1, 2, 3)]})
         with pytest.raises(SchemaError):
             left.merge(right)
+
+
+class _RecordingListener:
+    """Captures the hook protocol: phase order, effective deltas, DB state."""
+
+    def __init__(self):
+        self.events = []
+
+    def before_insert(self, database, name, rows):
+        self.events.append(("before_insert", name, rows, len(database.relation(name))))
+
+    def after_insert(self, database, name, rows):
+        self.events.append(("after_insert", name, rows, len(database.relation(name))))
+
+    def before_delete(self, database, name, rows):
+        self.events.append(("before_delete", name, rows, len(database.relation(name))))
+
+    def after_delete(self, database, name, rows):
+        self.events.append(("after_delete", name, rows, len(database.relation(name))))
+
+    def on_relation_replaced(self, database, name):
+        self.events.append(("replaced", name))
+
+
+class TestMutationHooksAndBulkOps:
+    def test_remove_fact_mirrors_add_fact(self):
+        database = Database.from_dict({"a": [(1, 2), (2, 3)]})
+        assert database.remove_fact("a", (1, 2)) is True
+        assert database.remove_fact("a", (1, 2)) is False
+        assert database.remove_fact("missing", (1,)) is False
+        assert database.relation("a").rows() == {(2, 3)}
+
+    def test_insert_facts_reports_effective_delta(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        assert database.insert_facts("a", [(1, 2), (3, 4), (3, 4), (5, 6)]) == 2
+        assert len(database.relation("a")) == 3
+
+    def test_insert_facts_creates_relation(self):
+        database = Database()
+        assert database.insert_facts("fresh", [(1,), (2,)]) == 2
+        assert database.relation("fresh").arity == 1
+
+    def test_insert_facts_validates_arity_before_hooks_fire(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        listener = _RecordingListener()
+        database.add_listener(listener)
+        with pytest.raises(SchemaError):
+            database.insert_facts("a", [(1, 2, 3)])
+        assert listener.events == []  # nothing fired for the rejected batch
+
+    def test_remove_facts_ignores_absent_rows(self):
+        database = Database.from_dict({"a": [(1, 2), (2, 3)]})
+        assert database.remove_facts("a", [(9, 9), (2, 3)]) == 1
+        assert database.remove_facts("missing", [(1,)]) == 0
+
+    def test_hooks_see_effective_deltas_around_the_mutation(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        listener = _RecordingListener()
+        database.add_listener(listener)
+        database.insert_facts("a", [(1, 2), (3, 4)])
+        database.remove_facts("a", [(3, 4), (9, 9)])
+        assert listener.events == [
+            ("before_insert", "a", ((3, 4),), 1),  # old state, already-present row filtered
+            ("after_insert", "a", ((3, 4),), 2),  # new state
+            ("before_delete", "a", ((3, 4),), 2),  # rows still present
+            ("after_delete", "a", ((3, 4),), 1),  # rows gone
+        ]
+
+    def test_noop_mutations_fire_no_hooks(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        listener = _RecordingListener()
+        database.add_listener(listener)
+        database.insert_facts("a", [(1, 2)])
+        database.remove_facts("a", [(9, 9)])
+        assert listener.events == []
+
+    def test_add_fact_routes_through_hooks_when_listening(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        listener = _RecordingListener()
+        database.add_listener(listener)
+        assert database.add_fact("a", (5, 6)) is True
+        assert [event[0] for event in listener.events] == ["before_insert", "after_insert"]
+
+    def test_add_relation_fires_replacement_hook(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        listener = _RecordingListener()
+        database.add_listener(listener)
+        database.add_relation(Relation("a", 2, [(9, 9)]))
+        assert listener.events == [("replaced", "a")]
+
+    def test_remove_listener_and_copy_isolation(self):
+        database = Database.from_dict({"a": [(1, 2)]})
+        listener = _RecordingListener()
+        database.add_listener(listener)
+        database.copy().insert_facts("a", [(7, 8)])  # copies do not share listeners
+        database.remove_listener(listener)
+        database.insert_facts("a", [(5, 6)])
+        assert listener.events == []

@@ -29,7 +29,7 @@ from repro.engine import SelectionQuery, seminaive_query
 from repro.workloads import chain, edge_database, transitive_closure
 
 PROGRAM = transitive_closure()
-CHAIN_LENGTH = 8
+CHAIN_LENGTH = 8  # chain 0 -> 1 -> ... -> 8
 
 
 def bare_database():
@@ -102,3 +102,57 @@ class TestSeminaiveContrast:
         _, stats = seminaive_query(PROGRAM, bare_database(), "t", {1: CHAIN_LENGTH})
         assert stats.unrestricted_lookups > 0
         assert stats.lookups > 18
+
+
+class TestMaintenanceAccounting:
+    """Pinned maintenance counters, extending Fig. 7/8 accounting to updates.
+
+    The counts are exact and hand-derivable on the 0 -> 1 -> ... -> 8 chain
+    (``b = a``), whose closure has 36 tuples.  Appending edge (8, 9):
+    ``a(8, 9)`` alone derives nothing (no exit fact behind it), then
+    ``b(8, 9)`` inserts t(8,9) and closes t(k,9) for every k — 9 tuples.
+    Cutting edge (0, 1) afterwards deletes the 8 tuples riding ``a(0, 1)`` —
+    t(0,k) for k = 2..9 — none rederivable, then ``b(0, 1)`` kills the
+    exit-only t(0,1).
+    """
+
+    def test_dred_insert_and_delete_counters_are_exact(self):
+        from repro import Session
+
+        session = Session(PROGRAM, bare_database())
+        assert len(session.view.derived["t"]) == 36
+
+        session.insert("a", (CHAIN_LENGTH, CHAIN_LENGTH + 1))
+        assert session.last_stats.tuples_inserted == 0
+
+        session.insert("b", (CHAIN_LENGTH, CHAIN_LENGTH + 1))
+        assert session.last_stats.tuples_inserted == CHAIN_LENGTH + 1  # t(k, 9) for k = 0..8
+        # the only unrestricted scans are of the carry itself — one for the
+        # seeded b-delta round plus one per closure iteration, never a stored
+        # relation (Property 3 carried over to maintenance)
+        assert session.last_stats.unrestricted_lookups == session.last_stats.iterations + 1
+
+        session.delete("a", (0, 1))
+        assert session.last_stats.tuples_deleted == CHAIN_LENGTH  # t(0, k) for k = 2..9
+        assert session.last_stats.tuples_rederived == 0
+
+        session.delete("b", (0, 1))
+        assert session.last_stats.tuples_deleted == 1  # t(0, 1) was exit-only
+        assert len(session.view.derived["t"]) == 36 + (CHAIN_LENGTH + 1) - CHAIN_LENGTH - 1
+
+    def test_counting_insert_and_delete_counters_are_exact(self):
+        from repro import Database, Session
+        from repro.workloads import bounded_swap
+
+        session = Session(bounded_swap(), Database.from_dict({"a": [(1, 2)], "b": [(2, 1)]}))
+        assert session.view.strategy == "counting"
+        assert session.view.derived["t"].rows() == {(1, 2), (2, 1)}
+
+        session.insert("b", (3, 4))
+        assert session.last_stats.tuples_inserted == 1  # t(3, 4)
+        session.insert("a", (4, 3))
+        assert session.last_stats.tuples_inserted == 1  # t(4, 3) = a(4,3) ∧ b(3,4)
+        session.delete("b", (3, 4))
+        assert session.last_stats.tuples_deleted == 2  # both ride the dead exit fact
+        assert session.last_stats.tuples_rederived == 0  # counting never rederives
+        assert session.view.derived["t"].rows() == {(1, 2), (2, 1)}

@@ -39,9 +39,21 @@ class TestBasics:
             Relation("bad", -1)
 
     def test_discard(self, edges):
-        edges.discard((1, 2))
+        assert edges.discard((1, 2)) is True
         assert (1, 2) not in edges
-        edges.discard((1, 2))  # idempotent
+        assert edges.discard((1, 2)) is False  # idempotent
+
+    def test_discard_all_counts_present(self, edges):
+        assert edges.discard_all([(1, 2), (9, 9), (2, 3), (1, 2)]) == 2
+        assert (1, 2) not in edges
+        assert (2, 3) not in edges
+        assert len(edges) == 2
+
+    def test_discard_all_maintains_live_indexes(self, edges):
+        assert edges.lookup({0: 1}) and edges.lookup({1: 3})  # build indexes
+        edges.discard_all([(1, 2), (1, 3)])
+        assert edges.lookup({0: 1}) == []
+        assert set(edges.lookup({1: 3})) == {(2, 3)}
 
     def test_copy_is_independent(self, edges):
         clone = edges.copy()
