@@ -32,44 +32,56 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..datalog.atoms import Atom
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ProgramError
-from ..datalog.relation import Value
+from ..datalog.relation import Relation, Value
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Variable, is_variable
 from ..engine import algebra
 from ..engine.compile import CompiledRule, compile_rule
+from ..engine.domain import Domain, engine_relations, intern_plan
 from ..engine.instrumentation import EvaluationStats
 from ..engine.query import QueryResult, SelectionQuery
 
 
-def _compile_exit_rules(shape: ChainShape, relations) -> List[Tuple[object, CompiledRule]]:
+def _compile_exit_rules(
+    shape: ChainShape, relations, domain: Optional[Domain] = None
+) -> List[Tuple[object, Optional[Value], CompiledRule]]:
     """Compile each exit rule's body once per query instead of once per value.
 
-    Returns ``(first head argument, compiled plan)`` pairs; when the first
-    head argument is a variable it is declared bound so the per-value
-    evaluation below probes the body with it.
+    Returns ``(first head argument, match key, compiled plan)`` triples; when
+    the first head argument is a variable it is declared bound so the
+    per-value evaluation below probes the body with it, and the match key is
+    ``None``.  For a constant first head argument the match key is the value
+    the rule fires at — interned into code space when a ``domain`` is active,
+    like the plan's embedded constants.
     """
-    plans: List[Tuple[object, CompiledRule]] = []
+    plans: List[Tuple[object, Optional[Value], CompiledRule]] = []
     for exit_rule in shape.exit_rules:
         head_first = exit_rule.head.args[0]
         bound = (head_first,) if is_variable(head_first) else ()
-        plans.append((head_first, compile_rule(exit_rule, relations, bound=bound)))
+        plan = compile_rule(exit_rule, relations, bound=bound)
+        match: Optional[Value] = None
+        if not is_variable(head_first):
+            match = domain.intern(head_first.value) if domain is not None else head_first.value
+        if domain is not None:
+            plan = intern_plan(plan, domain)
+        plans.append((head_first, match, plan))
     return plans
 
 
 def _exit_seconds(
-    plans: List[Tuple[object, CompiledRule]],
+    plans: List[Tuple[object, Optional[Value], CompiledRule]],
     relations,
     value: Value,
     stats: EvaluationStats,
 ) -> Set[Value]:
     """Second head components derivable by the exit rules for ``value``."""
     seconds: Set[Value] = set()
-    for head_first, plan in plans:
+    for head_first, match, plan in plans:
         if not plan.producible:
             continue
         if is_variable(head_first):
             bindings = {head_first: value}
-        elif head_first.value != value:
+        elif match != value:
             # a constant head argument only matches its own value; the rule
             # contributes nothing at other reached values
             continue
@@ -169,13 +181,16 @@ def counting_query(
     constant = bindings[0]
     shape = detect_chain_shape(program, query.predicate)
 
-    relations = {relation.name: relation for relation in database.relations()}
-    up = database.relation_or_empty(shape.up_predicate, 2)
-    down = (
-        database.relation_or_empty(shape.down_predicate, 2)
-        if shape.down_predicate is not None
-        else None
-    )
+    # The descent/ascent runs over the interned value domain like the
+    # fixpoint engines: relations and the query constant are encoded once,
+    # every semijoin hashes codes, and the answers are decoded at the end.
+    domain, relations = engine_relations(program, database)
+    if domain is not None:
+        constant = domain.intern(constant)
+    up = relations.get(shape.up_predicate) or Relation(shape.up_predicate, 2)
+    down = None
+    if shape.down_predicate is not None:
+        down = relations.get(shape.down_predicate) or Relation(shape.down_predicate, 2)
 
     # descend: counting(i, w) = w reachable from the constant in exactly i up-steps
     counting: Dict[int, Set[Value]] = {0: {constant}}
@@ -194,7 +209,7 @@ def counting_query(
 
     # ascend: apply the exit rules at every depth, then walk the down chain back up
     answers: Set[Tuple[Value, ...]] = set()
-    exit_plans = _compile_exit_rules(shape, relations)
+    exit_plans = _compile_exit_rules(shape, relations, domain)
     stats.record_plans_compiled(len(exit_plans))
     for level, values in counting.items():
         if not values:
@@ -209,6 +224,8 @@ def counting_query(
         for value in frontier:
             answers.add((constant, value))
 
+    if domain is not None:
+        answers = {domain.decode_row(row) for row in answers}
     answers = query.select(answers)
     stats.record_produced(len(answers))
     stats.extra["counting_levels"] = len(counting)
@@ -243,8 +260,10 @@ def counting_without_counts_query(
     constant = bindings[0]
 
     stats.start_timer()
-    relations = {relation.name: relation for relation in database.relations()}
-    up = database.relation_or_empty(shape.up_predicate, 2)
+    domain, relations = engine_relations(program, database)
+    if domain is not None:
+        constant = domain.intern(constant)
+    up = relations.get(shape.up_predicate) or Relation(shape.up_predicate, 2)
 
     seen: Set[Value] = {constant}
     carry: Set[Value] = {constant}
@@ -255,11 +274,13 @@ def counting_without_counts_query(
         stats.record_state(len(seen), len(seen))
 
     answers: Set[Tuple[Value, ...]] = set()
-    exit_plans = _compile_exit_rules(shape, relations)
+    exit_plans = _compile_exit_rules(shape, relations, domain)
     stats.record_plans_compiled(len(exit_plans))
     for value in seen:
         for second in _exit_seconds(exit_plans, relations, value, stats):
             answers.add((constant, second))
+    if domain is not None:
+        answers = {domain.decode_row(row) for row in answers}
     answers = query.select(answers)
     stats.record_produced(len(answers))
     stats.extra["carry_arity"] = 1

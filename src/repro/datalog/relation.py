@@ -15,6 +15,12 @@ Design notes
   tuples, which is what makes the paper's Property 3 ("never do an
   unrestricted lookup on a nonrecursive relation") observable in the
   instrumentation counters rather than hidden inside a full scan.
+* Single-column indexes store their keys *unwrapped* — the bare column value
+  instead of a one-element tuple — so the overwhelmingly common one-bound-
+  column probe of a compiled join allocates no key tuple at all.  The
+  interned value domain (:mod:`repro.engine.domain`) makes those keys plain
+  machine ints, which is what lets the generated join kernels run each probe
+  as a single dict lookup.
 """
 
 from __future__ import annotations
@@ -36,10 +42,10 @@ class Relation:
         self.name = name
         self.arity = arity
         self._rows: Set[Row] = set()
-        self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        #: ``columns -> key -> bucket``; single-column keys are stored unwrapped
+        self._indexes: Dict[Tuple[int, ...], Dict[object, List[Row]]] = {}
         if rows is not None:
-            for row in rows:
-                self.add(row)
+            self.add_all(rows)
 
     # ------------------------------------------------------------------
     # mutation
@@ -55,17 +61,85 @@ class Relation:
             return False
         self._rows.add(tupled)
         for columns, index in self._indexes.items():
-            key = tuple(tupled[c] for c in columns)
+            if len(columns) == 1:
+                key: object = tupled[columns[0]]
+            else:
+                key = tuple(tupled[c] for c in columns)
             index.setdefault(key, []).append(tupled)
         return True
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> int:
-        """Insert many tuples; returns how many were new."""
-        added = 0
-        for row in rows:
-            if self.add(row):
-                added += 1
-        return added
+        """Insert many tuples; returns how many were new.
+
+        Bulk fast path: the batch goes into the row set first and each
+        registered index is extended once per call, instead of paying the
+        per-row index walk of :meth:`add` — the difference between O(rows ×
+        indexes) dict churn and one tight loop per index when loading an EDB
+        or refilling a delta relation.
+        """
+        arity = self.arity
+        stored = self._rows
+        fresh: List[Row] = []
+        append = fresh.append
+        try:
+            for row in rows:
+                tupled = tuple(row)
+                if len(tupled) != arity:
+                    raise SchemaError(
+                        f"relation {self.name} has arity {arity}, got tuple of length {len(tupled)}"
+                    )
+                if tupled not in stored:
+                    stored.add(tupled)
+                    append(tupled)
+        finally:
+            # a mid-batch validation failure must still index the rows that
+            # made it into the set, or lookups would silently miss them
+            if fresh:
+                self._extend_indexes(fresh)
+        return len(fresh)
+
+    def _extend_indexes(self, fresh: Iterable[Row]) -> None:
+        """Append a batch of (new, validated) rows to every registered index."""
+        for columns, index in self._indexes.items():
+            setdefault = index.setdefault
+            if len(columns) == 1:
+                column = columns[0]
+                for tupled in fresh:
+                    setdefault(tupled[column], []).append(tupled)
+            else:
+                for tupled in fresh:
+                    setdefault(tuple(tupled[c] for c in columns), []).append(tupled)
+
+    @classmethod
+    def from_valid_rows(cls, name: str, arity: int, rows: Set[Row]) -> "Relation":
+        """Adopt a set of already-validated tuples without per-row checks.
+
+        Engine fast path (the interned-domain codec and the fixpoint drivers
+        use it): ``rows`` must be a set of fresh tuples of the right arity,
+        and the caller must hand over ownership — the set is adopted, not
+        copied.
+        """
+        relation = cls(name, arity)
+        relation._rows = rows
+        return relation
+
+    def union_update(self, rows: Set[Row]) -> int:
+        """Bulk set-union of already-validated tuples; returns how many were new.
+
+        The engine fast path behind the fixpoint drivers: deltas and derived
+        relations exchange *sets of rows that came out of this storage layer
+        or a kernel projection*, so re-validating arity per row (as
+        :meth:`add_all` must for arbitrary caller input) is wasted work.  The
+        row set advances by one C-level set union; registered indexes are
+        extended exactly as :meth:`add_all` does.
+        """
+        fresh = rows - self._rows
+        if not fresh:
+            return 0
+        self._rows |= fresh
+        if self._indexes:
+            self._extend_indexes(fresh)
+        return len(fresh)
 
     def discard(self, row: Sequence[Value]) -> bool:
         """Remove a tuple if present (indexes are maintained in place).
@@ -77,7 +151,10 @@ class Relation:
             return False
         self._rows.discard(tupled)
         for columns, index in self._indexes.items():
-            key = tuple(tupled[c] for c in columns)
+            if len(columns) == 1:
+                key: object = tupled[columns[0]]
+            else:
+                key = tuple(tupled[c] for c in columns)
             bucket = index.get(key)
             if bucket is None:
                 continue
@@ -130,8 +207,20 @@ class Relation:
         return not self._rows
 
     def copy(self) -> "Relation":
-        """An independent copy with the same tuples (indexes are not copied)."""
-        return Relation(self.name, self.arity, self._rows)
+        """An independent copy with the same tuples and index registrations.
+
+        The registered column-sets (and their buckets) are carried over, so a
+        copy keeps serving the probe signatures the original had built up —
+        previously they were silently dropped and every index had to be
+        rebuilt from scratch on first probe after a copy.
+        """
+        clone = Relation(self.name, self.arity)
+        clone._rows = set(self._rows)
+        clone._indexes = {
+            columns: {key: list(bucket) for key, bucket in index.items()}
+            for columns, index in self._indexes.items()
+        }
+        return clone
 
     def column_values(self, column: int) -> Set[Value]:
         """The distinct values appearing in ``column``."""
@@ -140,13 +229,18 @@ class Relation:
     # ------------------------------------------------------------------
     # indexed lookup
     # ------------------------------------------------------------------
-    def _index_for(self, columns: Tuple[int, ...]) -> Dict[Row, List[Row]]:
+    def _index_for(self, columns: Tuple[int, ...]) -> Dict[object, List[Row]]:
         index = self._indexes.get(columns)
         if index is None:
             index = {}
-            for row in self._rows:
-                key = tuple(row[c] for c in columns)
-                index.setdefault(key, []).append(row)
+            setdefault = index.setdefault
+            if len(columns) == 1:
+                column = columns[0]
+                for row in self._rows:
+                    setdefault(row[column], []).append(row)
+            else:
+                for row in self._rows:
+                    setdefault(tuple(row[c] for c in columns), []).append(row)
             self._indexes[columns] = index
         return index
 
@@ -165,16 +259,22 @@ class Relation:
                 raise SchemaError(
                     f"relation {self.name} has arity {self.arity}; column {column} out of range"
                 )
-        key = tuple(bindings[c] for c in columns)
+        if len(columns) == 1:
+            key: object = bindings[columns[0]]
+        else:
+            key = tuple(bindings[c] for c in columns)
         return list(self._index_for(columns).get(key, ()))
 
-    def probe(self, columns: Tuple[int, ...], key: Row) -> Sequence[Row]:
+    def probe(self, columns: Tuple[int, ...], key: object) -> Sequence[Row]:
         """Tuples matching ``key`` on the (pre-sorted) ``columns``.
 
         The fast-path lookup used by compiled plans: the caller fixed the
         column set at compile time, so no per-call sorting or dict building
         happens here, and the matching bucket is returned without copying.
-        Callers must treat the result as read-only.
+        For a single-column probe ``key`` is the bare value (single-column
+        index keys are stored unwrapped); for multi-column probes it is the
+        tuple of values in column order.  Callers must treat the result as
+        read-only.
         """
         if columns and (columns[0] < 0 or columns[-1] >= self.arity):
             raise SchemaError(

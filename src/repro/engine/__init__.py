@@ -15,7 +15,9 @@ from .cq_eval import (
     evaluate_rule,
     plan_order,
 )
+from .domain import Domain, interning_enabled, interning_mode, set_interning_enabled
 from .instrumentation import EvaluationStats
+from .kernels import kernel_mode, kernels_enabled, set_kernels_enabled
 from .naive import naive_evaluate, naive_query
 from .query import QueryResult, SelectionQuery, answer, as_selection_query
 from .seminaive import (
@@ -29,6 +31,7 @@ from .strata import evaluation_strata, strongly_connected_components
 
 __all__ = [
     "CompiledRule",
+    "Domain",
     "EvaluationStats",
     "PlanCache",
     "QueryResult",
@@ -45,7 +48,11 @@ __all__ = [
     "evaluate_rule",
     "evaluation_strata",
     "group_insert_closure",
+    "interning_enabled",
+    "interning_mode",
     "join",
+    "kernel_mode",
+    "kernels_enabled",
     "naive_evaluate",
     "naive_query",
     "overlay_relations",
@@ -57,6 +64,8 @@ __all__ = [
     "semijoin",
     "seminaive_evaluate",
     "seminaive_query",
+    "set_interning_enabled",
+    "set_kernels_enabled",
     "strongly_connected_components",
     "union",
 ]

@@ -26,6 +26,13 @@ recursive predicate: the variant forces that occurrence to the front of the
 join order (the delta is the most selective input by construction) and reads
 it from an *override* relation at evaluation time, so the same compiled plan
 is reused by every delta iteration of the fixpoint.
+
+On top of the plan, :mod:`repro.engine.kernels` generates a fused nested-loop
+closure per plan (probe keys, equality checks, slot stores and head
+projection inlined into straight-line Python); :meth:`CompiledRule.join` and
+:meth:`CompiledRule.evaluate` dispatch to it whenever kernels are enabled and
+every body relation resolves, and otherwise run the interpreted step machine
+below.  Both paths record identical instrumentation.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Variable
 from .cq_eval import plan_order
 from .instrumentation import EvaluationStats
+from .kernels import build_kernel, kernels_enabled
 
 RelationMap = Mapping[str, Relation]
 
@@ -110,7 +118,16 @@ class CompiledRule:
     whole point is that :meth:`evaluate` does no planning work.
     """
 
-    __slots__ = ("rule", "order", "steps", "head_ops", "producible", "initial_slots", "slot_count")
+    __slots__ = (
+        "rule",
+        "order",
+        "steps",
+        "head_ops",
+        "producible",
+        "initial_slots",
+        "slot_count",
+        "_kernels",
+    )
 
     def __init__(
         self,
@@ -133,10 +150,56 @@ class CompiledRule:
         #: variables pre-bound at compile time, in slot order (slots 0..k-1)
         self.initial_slots = initial_slots
         self.slot_count = slot_count
+        #: lazily generated ``[join_kernel, eval_kernel]`` (each built on
+        #: first use — a plan evaluated only through one entry point never
+        #: pays codegen for the other)
+        self._kernels = [None, None]
 
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def _initial(self, bindings: Optional[Mapping[Variable, Value]]) -> Tuple[Value, ...]:
+        if not self.initial_slots:
+            return ()
+        if bindings is None:
+            raise ValueError("compiled rule expects bindings for its bound variables")
+        return tuple(bindings[variable] for variable in self.initial_slots)
+
+    def _resolve(
+        self,
+        relations: RelationMap,
+        overrides: Optional[Mapping[int, Relation]],
+    ) -> Optional[Tuple[Relation, ...]]:
+        """Per-step relations, or ``None`` when some body relation is missing.
+
+        The missing case falls back to the interpreted path so the lookup
+        that discovers the absence is recorded at the step where evaluation
+        actually stops, exactly as before.
+        """
+        resolved: List[Relation] = []
+        for step in self.steps:
+            relation = None
+            if overrides is not None:
+                relation = overrides.get(step.atom_index)
+            if relation is None:
+                relation = relations.get(step.predicate)
+            if relation is None:
+                return None
+            resolved.append(relation)
+        return tuple(resolved)
+
+    def kernels(self):
+        """The plan's generated ``(join_kernel, eval_kernel)`` pair (memoized)."""
+        return (self._kernel(False), self._kernel(True) if self.producible else None)
+
+    def _kernel(self, project: bool):
+        index = 1 if project else 0
+        kernel = self._kernels[index]
+        if kernel is None:
+            kernel = build_kernel(self, project)
+            self._kernels[index] = kernel
+        return kernel
+
     def join(
         self,
         relations: RelationMap,
@@ -151,12 +214,21 @@ class CompiledRule:
         variables declared ``bound`` at compile time; all of them must be
         given.
         """
-        if self.initial_slots:
-            if bindings is None:
-                raise ValueError("compiled rule expects bindings for its bound variables")
-            initial = tuple(bindings[variable] for variable in self.initial_slots)
-        else:
-            initial = ()
+        initial = self._initial(bindings)
+        if kernels_enabled():
+            resolved = self._resolve(relations, overrides)
+            if resolved is not None:
+                return self._kernel(False)(resolved, initial, stats)
+        return self._join_interpreted(relations, stats, overrides, initial)
+
+    def _join_interpreted(
+        self,
+        relations: RelationMap,
+        stats: Optional[EvaluationStats],
+        overrides: Optional[Mapping[int, Relation]],
+        initial: Tuple[Value, ...],
+    ) -> List[Tuple[Value, ...]]:
+        """The step-machine evaluator (the ``REPRO_KERNELS=off`` path)."""
         frontier: List[Tuple[Value, ...]] = [initial]
         for step in self.steps:
             relation = None
@@ -174,10 +246,15 @@ class CompiledRule:
             check_cols = step.check_cols
             store_cols = step.store_cols
             restricted = bool(probe_columns)
+            single_key = key_ops[0] if len(key_ops) == 1 else None
             probe = relation.probe
             for current in frontier:
                 if restricted:
-                    key = tuple(value if is_const else current[value] for is_const, value in key_ops)
+                    if single_key is not None:
+                        is_const, value = single_key
+                        key: object = value if is_const else current[value]
+                    else:
+                        key = tuple(value if is_const else current[value] for is_const, value in key_ops)
                     rows = probe(probe_columns, key)
                 else:
                     rows = relation.rows()
@@ -211,9 +288,20 @@ class CompiledRule:
         """Head tuples derived by one application of the compiled rule."""
         if not self.producible:
             return set()
+        if kernels_enabled():
+            initial = self._initial(bindings)
+            resolved = self._resolve(relations, overrides)
+            if resolved is not None:
+                result = self._kernel(True)(resolved, initial, stats)
+                if stats is not None:
+                    stats.record_produced(len(result))
+                return result
+            assignments = self._join_interpreted(relations, stats, overrides, initial)
+        else:
+            assignments = self._join_interpreted(relations, stats, overrides, self._initial(bindings))
         head_ops = self.head_ops
-        result: Set[Row] = set()
-        for assignment in self.join(relations, stats, overrides, bindings):
+        result = set()
+        for assignment in assignments:
             result.add(tuple(value if is_const else assignment[value] for is_const, value in head_ops))
         if stats is not None:
             stats.record_produced(len(result))
@@ -320,8 +408,11 @@ class PlanCache:
     maintenance stream) pay the compilation cost once per shape.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_plans: Optional[int] = None) -> None:
         self._plans: Dict[Tuple[Rule, Optional[int], Tuple[Variable, ...]], CompiledRule] = {}
+        #: optional size cap for module-lifetime caches: the cache is cleared
+        #: wholesale when full, bounding memory without per-entry bookkeeping
+        self._max_plans = max_plans
 
     def get(
         self,
@@ -336,6 +427,8 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is None:
             plan = compile_rule(rule, relations, bound=bound, first=first)
+            if self._max_plans is not None and len(self._plans) >= self._max_plans:
+                self._plans.clear()
             self._plans[key] = plan
             if stats is not None:
                 stats.record_plans_compiled()

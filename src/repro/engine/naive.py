@@ -15,6 +15,7 @@ from ..datalog.database import Database
 from ..datalog.relation import Relation
 from ..datalog.rules import Program
 from .compile import compile_program_rules
+from .domain import engine_relations, intern_plans
 from .instrumentation import EvaluationStats
 from .strata import evaluation_strata, group_is_recursive
 
@@ -27,12 +28,14 @@ def naive_evaluate(
     """Compute the minimal model's IDB relations by naive iteration.
 
     Returns a map from IDB predicate name to its derived relation.  The input
-    database is not modified.
+    database is not modified.  Like semi-naive evaluation, the iteration runs
+    over the interned value domain (decoded at return) unless
+    ``REPRO_INTERN=off``.
     """
     stats = stats if stats is not None else EvaluationStats()
     stats.start_timer()
 
-    relations: Dict[str, Relation] = {r.name: r for r in database.relations()}
+    domain, relations = engine_relations(program, database)
     derived: Dict[str, Relation] = {}
     for predicate in program.idb_predicates():
         arity = program.arity_of(predicate)
@@ -40,13 +43,13 @@ def naive_evaluate(
         # IDB relations shadow same-named EDB relations during evaluation,
         # but pre-existing tuples (if any) are kept as seed facts.
         if predicate in relations:
-            derived[predicate].add_all(relations[predicate].rows())
+            derived[predicate].union_update(relations[predicate].rows())
         relations[predicate] = derived[predicate]
 
     for group in evaluation_strata(program):
         rules = [rule for predicate in group for rule in program.rules_for(predicate)]
         # Plans are compiled once per stratum and reused by every iteration.
-        plans = compile_program_rules(rules, relations)
+        plans = intern_plans(compile_program_rules(rules, relations), domain)
         stats.record_plans_compiled(len(plans))
         recursive_group = group_is_recursive(program, group)
         while True:
@@ -54,10 +57,11 @@ def naive_evaluate(
             changed = False
             for plan in plans:
                 target = derived[plan.rule.head.predicate]
-                for row in plan.evaluate(relations, stats=stats):
-                    if target.add(row):
-                        changed = True
-                        stats.record_produced()
+                fresh_rows = plan.evaluate(relations, stats=stats) - target.rows()
+                if fresh_rows:
+                    target.union_update(fresh_rows)
+                    changed = True
+                    stats.record_produced(len(fresh_rows))
             stats.record_state(
                 sum(len(derived[p]) for p in group),
                 sum(len(derived[p]) * derived[p].arity for p in group),
@@ -65,6 +69,8 @@ def naive_evaluate(
             if not changed or not recursive_group:
                 break
 
+    if domain is not None:
+        derived = {p: domain.decode_relation(r) for p, r in derived.items()}
     stats.stop_timer()
     return derived
 

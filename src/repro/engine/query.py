@@ -11,6 +11,14 @@ implements: it runs the :mod:`repro.optimize` pass chain first
 (rewrite-then-evaluate), then picks unfolded / one-sided / counting / magic /
 semi-naive per query, and reports both the chosen strategy and the
 optimizer's rewrite provenance on the returned :class:`QueryResult`.
+
+Whatever strategy is picked, the joins underneath run on the engine's fast
+runtime: compiled plans evaluate through generated kernels
+(:mod:`repro.engine.kernels`, ``REPRO_KERNELS=off`` to disable) and the
+fixpoint strategies evaluate over the interned value domain
+(:mod:`repro.engine.domain`, ``REPRO_INTERN=off``), with every answer set
+decoded back to the caller's original values before it reaches a
+:class:`QueryResult`.
 """
 
 from __future__ import annotations

@@ -5,6 +5,14 @@ contrasts the one-sided schema against: each iteration re-derives only the
 consequences of the *delta* (tuples new in the previous iteration), so no
 derivation is repeated.  It is complete for arbitrary positive Datalog and is
 the evaluator used underneath the magic-sets and counting baselines.
+
+The fixpoint itself runs on the interned value domain
+(:mod:`repro.engine.domain`): the stored relations are encoded to int rows
+on entry, rule constants are interned into the compiled plans, every delta
+round hashes machine ints, and the derived relations are decoded back to
+user values on exit — so callers (and the magic/counting baselines and the
+incremental registry riding this module) never see a code.  ``REPRO_INTERN=off``
+evaluates directly over the user values instead.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from ..datalog.database import Database
 from ..datalog.relation import Relation, Row
 from ..datalog.rules import Program
 from .compile import PlanCache, compile_delta_variants, compile_program_rules
+from .domain import Domain, engine_relations, intern_plan, intern_plans
 from .instrumentation import EvaluationStats
 from .strata import cached_evaluation_strata, evaluation_strata, group_is_recursive
 
@@ -32,18 +41,20 @@ def seminaive_evaluate(
     stats = stats if stats is not None else EvaluationStats()
     stats.start_timer()
 
-    relations: Dict[str, Relation] = {r.name: r for r in database.relations()}
+    domain, relations = engine_relations(program, database)
     derived: Dict[str, Relation] = {}
     for predicate in program.idb_predicates():
         arity = program.arity_of(predicate)
         derived[predicate] = Relation(predicate, arity)
         if predicate in relations:
-            derived[predicate].add_all(relations[predicate].rows())
+            derived[predicate].union_update(relations[predicate].rows())
         relations[predicate] = derived[predicate]
 
     for group in evaluation_strata(program):
-        _evaluate_group(program, group, relations, derived, stats)
+        _evaluate_group(program, group, relations, derived, stats, domain)
 
+    if domain is not None:
+        derived = {p: domain.decode_relation(r) for p, r in derived.items()}
     stats.stop_timer()
     return derived
 
@@ -54,13 +65,14 @@ def _evaluate_group(
     relations: Dict[str, Relation],
     derived: Dict[str, Relation],
     stats: EvaluationStats,
+    domain: Optional[Domain] = None,
 ) -> None:
     """Evaluate one stratum (a set of mutually recursive predicates) to fixpoint."""
     group_set = set(group)
     rules = [rule for predicate in group for rule in program.rules_for(predicate)]
     recursive_rules = [rule for rule in rules if any(p in group_set for p in rule.body_predicates())]
     base_rules = [rule for rule in rules if rule not in recursive_rules]
-    base_plans = compile_program_rules(base_rules, relations)
+    base_plans = intern_plans(compile_program_rules(base_rules, relations), domain)
     stats.record_plans_compiled(len(base_plans))
 
     # The deltas are persistent, double-buffered relations: ``current`` holds
@@ -76,15 +88,16 @@ def _evaluate_group(
     # magic seed placed in the database) count as freshly derived, then the
     # nonrecursive rules are applied once.
     for predicate in group:
-        current[predicate].add_all(derived[predicate].rows())
+        current[predicate].union_update(derived[predicate].rows())
     stats.record_iteration()
     for plan in base_plans:
         target = derived[plan.rule.head.predicate]
         delta = current[plan.rule.head.predicate]
-        for row in plan.evaluate(relations, stats=stats):
-            if target.add(row):
-                delta.add(row)
-                stats.record_produced()
+        fresh_rows = plan.evaluate(relations, stats=stats) - target.rows()
+        if fresh_rows:
+            target.union_update(fresh_rows)
+            delta.union_update(fresh_rows)
+            stats.record_produced(len(fresh_rows))
 
     if not group_is_recursive(program, group):
         return
@@ -93,7 +106,13 @@ def _evaluate_group(
     # rule body, reused verbatim by every delta iteration below.
     delta_plans = []
     for rule in recursive_rules:
-        delta_plans.extend(compile_delta_variants(rule, group_set, relations))
+        variants = compile_delta_variants(rule, group_set, relations)
+        if domain is not None:
+            variants = [
+                (predicate, occurrence, intern_plan(plan, domain))
+                for predicate, occurrence, plan in variants
+            ]
+        delta_plans.extend(variants)
     stats.record_plans_compiled(len(delta_plans))
 
     # Iterate: apply recursive rules to the deltas only.
@@ -108,16 +127,14 @@ def _evaluate_group(
             if delta_relation.is_empty():
                 continue
             head = plan.rule.head.predicate
-            seen = derived[head]
-            fresh = spare[head]
-            for row in plan.evaluate(relations, stats=stats, overrides={occurrence: delta_relation}):
-                if row not in seen:
-                    fresh.add(row)
+            produced = plan.evaluate(relations, stats=stats, overrides={occurrence: delta_relation})
+            new_rows = produced - derived[head].rows()
+            if new_rows:
+                spare[head].union_update(new_rows)
         for predicate in group:
-            target = derived[predicate]
-            for row in spare[predicate].rows():
-                if target.add(row):
-                    stats.record_produced()
+            added = derived[predicate].union_update(spare[predicate].rows())
+            if added:
+                stats.record_produced(added)
             stale = current[predicate]
             stale.clear()
             current[predicate] = spare[predicate]
@@ -185,11 +202,12 @@ def group_insert_closure(
                     continue
                 plan = cache.get(rule, relations, first=index, stats=stats)
                 target = derived[rule.head.predicate]
-                fresh = inserted[rule.head.predicate]
-                for row in plan.evaluate(relations, stats=stats, overrides={index: overlays[atom.predicate]}):
-                    if target.add(row):
-                        fresh.add(row)
-                        stats.record_produced()
+                produced = plan.evaluate(relations, stats=stats, overrides={index: overlays[atom.predicate]})
+                new_rows = produced - target.rows()
+                if new_rows:
+                    target.union_update(new_rows)
+                    inserted[rule.head.predicate] |= new_rows
+                    stats.record_produced(len(new_rows))
 
     if group_is_recursive(program, group) and any(inserted.values()):
         group_rules = [rule for rule in rules if any(p in group_set for p in rule.body_predicates())]
@@ -212,18 +230,17 @@ def group_insert_closure(
                 delta_relation = current[delta_predicate]
                 if delta_relation.is_empty():
                     continue
-                seen = derived[plan.rule.head.predicate]
-                fresh_relation = spare[plan.rule.head.predicate]
-                for row in plan.evaluate(relations, stats=stats, overrides={occurrence: delta_relation}):
-                    if row not in seen:
-                        fresh_relation.add(row)
+                head = plan.rule.head.predicate
+                produced = plan.evaluate(relations, stats=stats, overrides={occurrence: delta_relation})
+                new_rows = produced - derived[head].rows()
+                if new_rows:
+                    spare[head].union_update(new_rows)
             for predicate in group:
-                target = derived[predicate]
-                collected = inserted[predicate]
-                for row in spare[predicate].rows():
-                    if target.add(row):
-                        collected.add(row)
-                        stats.record_produced()
+                added_rows = spare[predicate].rows() - derived[predicate].rows()
+                if added_rows:
+                    derived[predicate].union_update(added_rows)
+                    inserted[predicate] |= added_rows
+                    stats.record_produced(len(added_rows))
                 stale = current[predicate]
                 stale.clear()
                 current[predicate] = spare[predicate]
@@ -251,6 +268,12 @@ def propagate_insertions(
     added are returned.  This is the insertion half of incremental view
     maintenance (:mod:`repro.incremental`): the same compiled delta variants
     the fixpoint uses across iterations, reused across *time*.
+
+    Maintenance joins run through the generated kernels like every other
+    compiled-plan evaluation, but over the *user-value* materialized
+    relations rather than an interned encoding: the view's rows live across
+    updates and are served to queries directly, so there is no single
+    evaluation boundary at which codes could be decoded.
     """
     stats = stats if stats is not None else EvaluationStats()
     cache = cache if cache is not None else PlanCache()

@@ -34,7 +34,7 @@ from ..datalog.errors import ProgramError
 from ..datalog.relation import Relation, Row, Value
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Variable
-from ..engine.compile import compile_rule
+from ..engine.compile import PlanCache
 from ..engine.instrumentation import EvaluationStats
 from ..engine.query import SelectionQuery
 from ..expansion.generator import expand
@@ -116,6 +116,15 @@ def apply_unfolding(program: Program, definition: UnfoldedDefinition) -> Program
     return Program(tuple(kept) + definition.rules)
 
 
+#: shared across calls: the same unfolded string queried with a different
+#: constant reuses its compiled plan (and the plan's generated kernels) —
+#: selection constants travel through ``bindings``, never through the plan.
+#: Capped because the cache outlives any one program; join orders are frozen
+#: at first compile, which is harmless for the short (1–3 atom) minimized
+#: strings this evaluator sees.
+_plan_cache = PlanCache(max_plans=1024)
+
+
 def evaluate_unfolded(
     definition: UnfoldedDefinition,
     database: Database,
@@ -128,7 +137,10 @@ def evaluate_unfolded(
     (:func:`repro.engine.compile.compile_rule`); a query's ``column =
     constant`` bindings become compile-time bound variables, so every plan
     probes the stored relations with the selection constants instead of
-    scanning — no fixpoint, no iteration, no irrelevant tuples.
+    scanning — no fixpoint, no iteration, no irrelevant tuples.  Plans are
+    memoized per (string, bound-column signature) across calls, so a stream
+    of selections over one definition compiles — and code-generates — each
+    string once.
     """
     stats = stats if stats is not None else EvaluationStats()
     stats.start_timer()
@@ -147,7 +159,7 @@ def evaluate_unfolded(
         if conflict:
             continue
         rule = Rule(Atom(definition.predicate, tuple(string.distinguished)), tuple(string.atoms))
-        plan = compile_rule(rule, relations, bound=tuple(bindings))
+        plan = _plan_cache.get(rule, relations, bound=tuple(bindings))
         stats.record_plans_compiled()
         answers |= plan.evaluate(relations, stats=stats, bindings=bindings or None)
     if query is not None:

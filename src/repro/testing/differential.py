@@ -15,7 +15,14 @@ tuple:
 * **optimized** — the :func:`repro.engine.query.answer` front door with
   ``strategy="auto"``, i.e. the full rewrite-then-evaluate path (bounded
   unfolding, one-sided schema, counting, magic, semi-naive), runs on every
-  case; whatever strategy it picks must reproduce the reference answers.
+  case; whatever strategy it picks must reproduce the reference answers;
+* **interpreted / kernel** — semi-naive evaluation re-run with the engine
+  runtime pinned to its three execution modes: the interpreted step machine
+  (``REPRO_KERNELS=off`` + ``REPRO_INTERN=off``), generated kernels over raw
+  values, and generated kernels over the interned value domain (the
+  default).  All three must produce identical IDB relations tuple for tuple,
+  which is what licenses shipping the codegen/interning fast path as the
+  default runtime.
 
 A mismatch produces a report carrying the offending seed, so any failure is
 reproducible with ``generate_case(seed)``.
@@ -30,6 +37,8 @@ from ..baselines.counting import counting_query, counting_scope_reason
 from ..baselines.magic import magic_query
 from ..datalog.errors import EvaluationError
 from ..datalog.relation import Row
+from ..engine.domain import interning_mode
+from ..engine.kernels import kernel_mode
 from ..engine.naive import naive_evaluate
 from ..engine.query import answer
 from ..engine.seminaive import seminaive_evaluate
@@ -80,6 +89,28 @@ def run_differential(case: DifferentialCase) -> DifferentialReport:
                 f"{predicate}: naive={len(naive_rows)} vs seminaive={len(semi_rows)} tuples "
                 f"(naive-only sample {only_naive}, seminaive-only sample {only_semi})"
             )
+
+    # The engine runtime's three execution modes must agree with the default
+    # run above (whatever mode the process runs under): interpreted step
+    # machine, kernels over raw values, kernels over the interned domain.
+    for engine, kernels, interning in (
+        ("interpreted", False, False),
+        ("kernel", True, False),
+        ("interned", True, True),
+    ):
+        with kernel_mode(kernels), interning_mode(interning):
+            mode_derived = seminaive_evaluate(program, database)
+        report.engines[engine] = "ok"
+        for predicate in sorted(set(semi_derived) | set(mode_derived)):
+            semi_rows = semi_derived[predicate].rows() if predicate in semi_derived else set()
+            mode_rows = mode_derived[predicate].rows() if predicate in mode_derived else set()
+            if mode_rows != semi_rows:
+                only_mode = sorted(mode_rows - semi_rows, key=repr)[:5]
+                only_semi = sorted(semi_rows - mode_rows, key=repr)[:5]
+                report.mismatches.append(
+                    f"{engine}: {predicate}: {len(mode_rows)} vs seminaive={len(semi_rows)} tuples "
+                    f"({engine}-only sample {only_mode}, seminaive-only sample {only_semi})"
+                )
 
     if query.predicate in semi_derived:
         reference: Set[Row] = query.select(semi_derived[query.predicate].rows())

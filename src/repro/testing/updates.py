@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..datalog.relation import Row
+from ..engine.domain import interning_mode
+from ..engine.kernels import kernel_mode
 from ..engine.seminaive import seminaive_evaluate
 from ..incremental.session import Session
 from .generate import DifferentialCase, generate_case
@@ -152,7 +154,13 @@ def _check_state(
 
 
 def run_update_sequence(case: UpdateSequenceCase) -> UpdateSequenceReport:
-    """Replay ``case`` through a Session, checking the view after every step."""
+    """Replay ``case`` through a Session, checking the view after every step.
+
+    After the whole stream, the final view state (maintained through
+    generated kernels) is additionally checked against a recomputation with
+    the engine runtime pinned to the interpreted step machine — the update
+    families' leg of the interpreted == kernel == interned assertion.
+    """
     report = UpdateSequenceReport(case)
     session = Session(case.base.program, case.base.database.copy())
     report.strategy = session.view.strategy
@@ -165,6 +173,18 @@ def run_update_sequence(case: UpdateSequenceCase) -> UpdateSequenceReport:
         else:
             session.delete(step.relation, list(step.rows))
         _check_state(session, case, f"step {index} ({step})", report)
+    if not report.mismatches:
+        with kernel_mode(False), interning_mode(False):
+            interpreted = seminaive_evaluate(case.base.program, session.database)
+        view = session.view.derived
+        for predicate in sorted(set(interpreted) | set(view)):
+            reference_rows = interpreted[predicate].rows() if predicate in interpreted else set()
+            view_rows = view[predicate].rows() if predicate in view else set()
+            if view_rows != reference_rows:
+                report.mismatches.append(
+                    f"final interpreted cross-check: {predicate}: view={len(view_rows)} vs "
+                    f"interpreted recompute={len(reference_rows)} tuples"
+                )
     return report
 
 

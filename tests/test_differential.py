@@ -81,6 +81,10 @@ def test_batch_covers_every_family_and_engine():
     assert coverage["magic"] >= SEED_COUNT * 0.9
     assert coverage["counting"] >= SEED_COUNT * 0.25
     assert coverage["optimized"] == SEED_COUNT
+    # the engine runtime's execution modes run (and must agree) on every case
+    assert coverage["interpreted"] == SEED_COUNT
+    assert coverage["kernel"] == SEED_COUNT
+    assert coverage["interned"] == SEED_COUNT
 
 
 def test_unfolding_actually_fires_on_bounded_cases():

@@ -1,0 +1,154 @@
+"""The interned value domain: round-trips, boundaries, and engine wiring."""
+
+from __future__ import annotations
+
+from repro import Database, Session, parse_program
+from repro.datalog.relation import Relation
+from repro.engine import (
+    EvaluationStats,
+    interning_enabled,
+    interning_mode,
+    naive_evaluate,
+    seminaive_evaluate,
+)
+from repro.engine.domain import Domain, domain_for, intern_plan
+from repro.engine.compile import compile_rule
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+
+PROGRAM = parse_program(
+    """
+    t(X, Y) :- a(X, Z), t(Z, Y).
+    t(X, Y) :- b(X, Y).
+    """
+)
+
+
+class TestDomainRoundTrip:
+    def test_mixed_value_types_round_trip(self):
+        domain = Domain()
+        values = ["alpha", 7, 2.5, "7", ("nested", 1), "alpha"]
+        codes = [domain.intern(value) for value in values]
+        # distinct values get distinct dense codes; repeats reuse them
+        assert codes[0] == codes[5]
+        assert len(set(codes)) == 5
+        assert sorted(set(codes)) == list(range(5))
+        for value, code in zip(values, codes):
+            assert domain.decode(code) == value
+            assert type(domain.decode(code)) is type(value)
+
+    def test_row_round_trip(self):
+        domain = Domain()
+        row = ("x", 1, 3.5)
+        assert domain.decode_row(domain.intern_row(row)) == row
+
+    def test_relation_round_trip(self):
+        domain = Domain()
+        relation = Relation("r", 2, [("a", 1), ("b", 2), ("a", 2)])
+        encoded = domain.encode_relation(relation)
+        assert encoded.name == "r" and encoded.arity == 2
+        assert all(
+            type(value) is int for row in encoded.rows() for value in row
+        )
+        decoded = domain.decode_relation(encoded)
+        assert decoded.rows() == relation.rows()
+
+    def test_python_equality_is_preserved(self):
+        # 1 and 1.0 are equal in Python set semantics, so they must share a
+        # code — exactly what the raw tuple-set storage would do
+        domain = Domain()
+        assert domain.intern(1) == domain.intern(1.0)
+        assert domain.intern("1") != domain.intern(1)
+
+    def test_contains_and_len(self):
+        domain = Domain()
+        domain.intern("x")
+        assert "x" in domain
+        assert "y" not in domain
+        assert len(domain) == 1
+
+
+class TestDomainSelection:
+    def test_all_int_database_skips_interning(self):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(2, 3)]})
+        with interning_mode(True):
+            assert domain_for(PROGRAM, database) is None
+
+    def test_non_int_values_trigger_interning(self):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(2, "goal")]})
+        with interning_mode(True):
+            domain = domain_for(PROGRAM, database)
+        assert isinstance(domain, Domain)
+
+    def test_disabled_interning_returns_none(self):
+        database = Database.from_dict({"a": [("x", "y")], "b": [("y", "z")]})
+        with interning_mode(False):
+            assert not interning_enabled()
+            assert domain_for(PROGRAM, database) is None
+
+
+class TestInternPlan:
+    def test_constants_move_into_code_space(self):
+        domain = Domain()
+        rule = Rule(Atom.of("t", "X", "lit"), (Atom.of("e", "start", "X"),))
+        plan = compile_rule(rule)
+        interned = intern_plan(plan, domain)
+        (position, code), = interned.steps[0].const_cols
+        assert position == 0 and domain.decode(code) == "start"
+        is_const, head_code = interned.head_ops[1]
+        assert is_const and domain.decode(head_code) == "lit"
+        # structure is untouched, so instrumentation counts stay identical
+        assert interned.order == plan.order
+        assert interned.slot_count == plan.slot_count
+        assert interned.steps[0].probe_columns == plan.steps[0].probe_columns
+
+
+class TestEngineBoundary:
+    def test_seminaive_returns_original_values(self):
+        database = Database.from_dict(
+            {"a": [("u", "v"), ("v", "w")], "b": [("w", "end")]}
+        )
+        derived = seminaive_evaluate(PROGRAM, database)
+        assert derived["t"].rows() == {
+            ("w", "end"), ("v", "end"), ("u", "end"),
+        }
+        assert all(
+            type(value) is str for row in derived["t"].rows() for value in row
+        )
+
+    def test_interned_matches_uninterned(self):
+        database = Database.from_dict(
+            {"a": [("a", "b"), ("b", "c"), ("c", "d")], "b": [("d", 0), ("b", 1.5)]}
+        )
+        with interning_mode(True):
+            interned = seminaive_evaluate(PROGRAM, database)
+            interned_naive = naive_evaluate(PROGRAM, database)
+        with interning_mode(False):
+            raw = seminaive_evaluate(PROGRAM, database)
+        assert interned["t"].rows() == raw["t"].rows() == interned_naive["t"].rows()
+
+    def test_counters_identical_with_and_without_interning(self):
+        database = Database.from_dict(
+            {"a": [("a", "b"), ("b", "c")], "b": [("c", "z")]}
+        )
+        with_stats, without_stats = EvaluationStats(), EvaluationStats()
+        with interning_mode(True):
+            seminaive_evaluate(PROGRAM, database, with_stats)
+        with interning_mode(False):
+            seminaive_evaluate(PROGRAM, database, without_stats)
+        with_counts = with_stats.as_dict()
+        without_counts = without_stats.as_dict()
+        with_counts.pop("elapsed_seconds")
+        without_counts.pop("elapsed_seconds")
+        assert with_counts == without_counts
+
+    def test_session_query_returns_original_values(self):
+        session = Session(
+            PROGRAM,
+            Database.from_dict({"a": [("s", "m")], "b": [("m", 42), ("s", 2.5)]}),
+        )
+        answers = session.query("t(s, Y)?").answers
+        assert answers == {("s", 42), ("s", 2.5)}
+        assert {type(value) for _s, value in answers} == {int, float}
+        session.insert("b", ("m", "tail"))
+        assert ("s", "tail") in session.query("t(s, Y)?").answers

@@ -182,10 +182,88 @@ class TestClearAndProbe:
         assert edges.lookup({0: 1}) == [(1, 7)]
 
     def test_probe_matches_lookup(self, edges):
-        assert set(edges.probe((0,), (1,))) == set(edges.lookup({0: 1}))
+        # single-column probes take the bare value (keys are stored unwrapped)
+        assert set(edges.probe((0,), 1)) == set(edges.lookup({0: 1}))
         assert set(edges.probe((0, 1), (1, 3))) == set(edges.lookup({0: 1, 1: 3}))
-        assert list(edges.probe((0,), (42,))) == []
+        assert list(edges.probe((0,), 42)) == []
 
     def test_probe_rejects_out_of_range_columns(self, edges):
         with pytest.raises(SchemaError):
-            edges.probe((5,), (1,))
+            edges.probe((5,), 1)
+
+
+class TestBulkAddAll:
+    """``add_all`` batches into the row set and extends each index once."""
+
+    def test_bulk_insert_maintains_live_indexes(self, edges):
+        edges.lookup({0: 1})
+        edges.lookup({0: 1, 1: 2})
+        assert edges.add_all([(1, 9), (4, 4), (1, 9), (1, 2)]) == 2
+        assert set(edges.lookup({0: 1})) == {(1, 2), (1, 3), (1, 9)}
+        assert edges.lookup({0: 4, 1: 4}) == [(4, 4)]
+        assert len(edges) == 6
+
+    def test_bulk_insert_validates_arity(self, edges):
+        with pytest.raises(SchemaError):
+            edges.add_all([(1, 2, 3)])
+
+    def test_mid_batch_failure_keeps_indexes_consistent(self, edges):
+        # rows inserted before a bad row trips validation must still be
+        # visible through every registered index
+        edges.lookup({0: 5})  # register the column-0 index
+        with pytest.raises(SchemaError):
+            edges.add_all([(5, 6), (7, 8, 9)])
+        assert (5, 6) in edges
+        assert edges.lookup({0: 5}) == [(5, 6)]
+
+    def test_bulk_insert_into_unindexed_relation(self):
+        relation = Relation("r", 2)
+        assert relation.add_all([(1, 2), (3, 4)]) == 2
+        assert set(relation.lookup({1: 4})) == {(3, 4)}
+
+    def test_constructor_uses_bulk_path(self):
+        relation = Relation("r", 1, [(1,), (2,), (1,)])
+        assert len(relation) == 2
+
+
+class TestCopyKeepsIndexes:
+    def test_copy_preserves_index_registrations(self, edges):
+        edges.lookup({0: 1})  # register and build the column-0 index
+        clone = edges.copy()
+        # the clone serves the same probe signature and stays maintained
+        assert set(clone.probe((0,), 1)) == {(1, 2), (1, 3)}
+        clone.add((1, 8))
+        assert set(clone.probe((0,), 1)) == {(1, 2), (1, 3), (1, 8)}
+        clone.discard((1, 2))
+        assert set(clone.probe((0,), 1)) == {(1, 3), (1, 8)}
+
+    def test_copy_indexes_are_independent(self, edges):
+        edges.lookup({0: 1})
+        clone = edges.copy()
+        clone.add((1, 8))
+        clone.discard((1, 3))
+        assert set(edges.probe((0,), 1)) == {(1, 2), (1, 3)}
+        assert set(edges.lookup({0: 1})) == {(1, 2), (1, 3)}
+
+
+class TestMixedMutationIndexConsistency:
+    """add / discard / clear / probe interleavings keep every index exact."""
+
+    def test_add_discard_clear_probe_cycle(self):
+        relation = Relation("r", 2)
+        relation.add_all([(1, 2), (2, 3), (1, 3)])
+        assert set(relation.probe((0,), 1)) == {(1, 2), (1, 3)}
+        assert relation.probe((0, 1), (2, 3)) == [(2, 3)]
+        relation.discard((1, 2))
+        assert set(relation.probe((0,), 1)) == {(1, 3)}
+        relation.clear()
+        assert list(relation.probe((0,), 1)) == []
+        assert list(relation.probe((0, 1), (2, 3))) == []
+        # registered signatures survive the clear and see new batches
+        relation.add_all([(1, 7), (5, 5)])
+        relation.add((1, 9))
+        assert set(relation.probe((0,), 1)) == {(1, 7), (1, 9)}
+        assert relation.probe((0, 1), (5, 5)) == [(5, 5)]
+        relation.discard((1, 7))
+        relation.discard((1, 9))
+        assert list(relation.probe((0,), 1)) == []
