@@ -72,9 +72,19 @@ def write_bench_json(experiment: str, entry_name: str, payload: Mapping) -> Path
         except (OSError, ValueError):
             data = {}
     data[entry_name] = payload
+    # write-to-temp + fsync + atomic rename: an interrupted or crashed run can
+    # never leave a truncated JSON behind to poison later trajectory reads,
+    # and the temp file itself is cleaned up on failure
     scratch = path.with_suffix(f".tmp{os.getpid()}")
-    scratch.write_text(json.dumps(data, indent=2, sort_keys=True, default=str) + "\n")
-    os.replace(scratch, path)
+    try:
+        with open(scratch, "w") as handle:
+            handle.write(json.dumps(data, indent=2, sort_keys=True, default=str) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
     return path
 
 

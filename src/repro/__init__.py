@@ -75,15 +75,26 @@ from .optimize import (
     unfold_bounded,
 )
 from .incremental import MaterializedView, Session, ViewProvenance, ViewRegistry
+from .service import (
+    DatalogService,
+    EpochCache,
+    FlushPolicy,
+    ServiceResult,
+    ServiceSnapshot,
+    ServiceStats,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Atom",
     "Constant",
     "Database",
+    "DatalogService",
+    "EpochCache",
     "EvaluationError",
     "EvaluationStats",
+    "FlushPolicy",
     "MaterializedView",
     "NotOneSidedError",
     "OneSidedSchema",
@@ -98,6 +109,9 @@ __all__ = [
     "Rule",
     "SchemaError",
     "SelectionQuery",
+    "ServiceResult",
+    "ServiceSnapshot",
+    "ServiceStats",
     "Session",
     "UnfoldedDefinition",
     "Variable",

@@ -21,6 +21,12 @@ Design notes
   interned value domain (:mod:`repro.engine.domain`) makes those keys plain
   machine ints, which is what lets the generated join kernels run each probe
   as a single dict lookup.
+* :meth:`Relation.freeze` publishes an immutable copy-on-write snapshot in
+  O(1): the frozen handle shares the live relation's row set and index
+  buckets, mutating the frozen handle raises, and the live relation detaches
+  (copies its rows and buckets) on its first mutation after the freeze.
+  This is what lets the serving layer (:mod:`repro.service`) hand consistent
+  epochs to concurrent readers while writers keep maintaining the live view.
 """
 
 from __future__ import annotations
@@ -36,6 +42,11 @@ Row = Tuple[Value, ...]
 class Relation:
     """A named, fixed-arity set of tuples with lazy per-column indexes."""
 
+    #: class-level defaults so the hot constructors pay nothing for them;
+    #: ``freeze`` sets the instance attributes it needs
+    _frozen = False
+    _cow_shared = False
+
     def __init__(self, name: str, arity: int, rows: Optional[Iterable[Sequence[Value]]] = None) -> None:
         if arity < 0:
             raise SchemaError(f"relation {name} cannot have negative arity")
@@ -44,14 +55,67 @@ class Relation:
         self._rows: Set[Row] = set()
         #: ``columns -> key -> bucket``; single-column keys are stored unwrapped
         self._indexes: Dict[Tuple[int, ...], Dict[object, List[Row]]] = {}
+        #: bumped on every *effective* mutation; lets observers (the serving
+        #: layer's per-predicate cache invalidation) ask "did this relation
+        #: change?" without diffing tuple sets
+        self.version = 0
         if rows is not None:
             self.add_all(rows)
+
+    # ------------------------------------------------------------------
+    # snapshots (copy-on-write freeze)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """``True`` when this relation is an immutable snapshot handle."""
+        return self._frozen
+
+    def freeze(self) -> "Relation":
+        """Publish an immutable snapshot of the current contents, in O(1).
+
+        The snapshot shares this relation's row set and index buckets; the
+        sharing is copy-on-write on the *live* side — this relation detaches
+        (copies rows and buckets) on its first mutation after the freeze, so
+        the snapshot keeps observing exactly the rows it was born with.
+        Mutating the snapshot itself raises :class:`SchemaError`.  Freezing
+        an already-frozen relation returns it unchanged.
+        """
+        if self._frozen:
+            return self
+        snapshot = Relation.__new__(Relation)
+        snapshot.name = self.name
+        snapshot.arity = self.arity
+        snapshot.version = self.version
+        snapshot._rows = self._rows
+        # own outer dict (lazy index builds on the snapshot must not race the
+        # live relation's); inner buckets are shared — neither side mutates a
+        # shared bucket, because the live side replaces all of them on detach
+        snapshot._indexes = dict(self._indexes)
+        snapshot._frozen = True
+        snapshot._cow_shared = False
+        self._cow_shared = True
+        return snapshot
+
+    def _detach_for_mutation(self) -> None:
+        """Enforce frozen immutability / detach shared storage before a write."""
+        if self._frozen:
+            raise SchemaError(
+                f"relation {self.name} is a frozen snapshot and cannot be mutated"
+            )
+        self._rows = set(self._rows)
+        self._indexes = {
+            columns: {key: list(bucket) for key, bucket in index.items()}
+            for columns, index in self._indexes.items()
+        }
+        self._cow_shared = False
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add(self, row: Sequence[Value]) -> bool:
         """Insert a tuple; returns ``True`` when the tuple was new."""
+        if self._frozen or self._cow_shared:
+            self._detach_for_mutation()
         tupled = tuple(row)
         if len(tupled) != self.arity:
             raise SchemaError(
@@ -60,6 +124,7 @@ class Relation:
         if tupled in self._rows:
             return False
         self._rows.add(tupled)
+        self.version += 1
         for columns, index in self._indexes.items():
             if len(columns) == 1:
                 key: object = tupled[columns[0]]
@@ -77,6 +142,8 @@ class Relation:
         indexes) dict churn and one tight loop per index when loading an EDB
         or refilling a delta relation.
         """
+        if self._frozen or self._cow_shared:
+            self._detach_for_mutation()
         arity = self.arity
         stored = self._rows
         fresh: List[Row] = []
@@ -96,6 +163,7 @@ class Relation:
             # made it into the set, or lookups would silently miss them
             if fresh:
                 self._extend_indexes(fresh)
+                self.version += 1
         return len(fresh)
 
     def _extend_indexes(self, fresh: Iterable[Row]) -> None:
@@ -133,10 +201,13 @@ class Relation:
         row set advances by one C-level set union; registered indexes are
         extended exactly as :meth:`add_all` does.
         """
+        if self._frozen or self._cow_shared:
+            self._detach_for_mutation()
         fresh = rows - self._rows
         if not fresh:
             return 0
         self._rows |= fresh
+        self.version += 1
         if self._indexes:
             self._extend_indexes(fresh)
         return len(fresh)
@@ -148,8 +219,13 @@ class Relation:
         """
         tupled = tuple(row)
         if tupled not in self._rows:
+            if self._frozen:
+                self._detach_for_mutation()  # raises: frozen snapshots reject writes
             return False
+        if self._frozen or self._cow_shared:
+            self._detach_for_mutation()
         self._rows.discard(tupled)
+        self.version += 1
         for columns, index in self._indexes.items():
             if len(columns) == 1:
                 key: object = tupled[columns[0]]
@@ -182,6 +258,19 @@ class Relation:
         combinations the joins probe stay registered and :meth:`add` maintains
         them incrementally instead of each iteration rebuilding from scratch.
         """
+        if self._frozen or self._cow_shared:
+            if self._frozen:
+                self._detach_for_mutation()  # raises: frozen snapshots reject writes
+            # detach without copying contents that are about to be dropped;
+            # the registered column-sets survive with fresh empty buckets
+            if self._rows:
+                self.version += 1
+            self._rows = set()
+            self._indexes = {columns: {} for columns in self._indexes}
+            self._cow_shared = False
+            return
+        if self._rows:
+            self.version += 1
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
@@ -215,6 +304,7 @@ class Relation:
         rebuilt from scratch on first probe after a copy.
         """
         clone = Relation(self.name, self.arity)
+        clone.version = self.version
         clone._rows = set(self._rows)
         clone._indexes = {
             columns: {key: list(bucket) for key, bucket in index.items()}

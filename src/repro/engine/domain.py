@@ -143,23 +143,24 @@ class Domain:
         return f"Domain({len(self._values)} values)"
 
 
-#: relation → (row count at scan time, all-int verdict).  Memoizes the
-#: :func:`domain_for` scan so repeated evaluations over the same relations
-#: (a query stream, the differential harness) pay it once.  A stale verdict
-#: is *safe in both directions* — "all int" only skips an optimization
-#: (evaluation runs raw, still correct) and "has non-int" only adds one —
-#: so invalidating on row-count change alone is sufficient; weak keys let
-#: dropped relations leave the cache.
+#: relation → (mutation version at scan time, all-int verdict).  Memoizes
+#: the :func:`domain_for` scan so repeated evaluations over the same
+#: relations (a query stream, the serving layer, the differential harness)
+#: pay it once.  Keyed on the relation's ``version`` counter, so *every*
+#: effective mutation invalidates — including the len-preserving ones the
+#: previous row-count key missed (a stale verdict was safe either way, but
+#: the counter makes the cache exact); weak keys let dropped relations
+#: leave the cache.
 _int_only_cache: "weakref.WeakKeyDictionary[Relation, tuple]" = weakref.WeakKeyDictionary()
 
 
 def _relation_int_only(relation: Relation) -> bool:
     cached = _int_only_cache.get(relation)
-    size = len(relation)
-    if cached is not None and cached[0] == size:
+    version = relation.version
+    if cached is not None and cached[0] == version:
         return cached[1]
     verdict = all(type(value) is int for row in relation.rows() for value in row)
-    _int_only_cache[relation] = (size, verdict)
+    _int_only_cache[relation] = (version, verdict)
     return verdict
 
 
@@ -187,10 +188,12 @@ def encode_program_relations(program, database, domain: Domain) -> Dict[str, Rel
     nothing else, so unrelated relations never pay the interning pass.
 
     The encoding is rebuilt per evaluation call by design: caching encoded
-    *rows* across calls would return wrong results after any len-preserving
-    mutation between calls (unlike the :func:`_relation_int_only` verdict,
-    which is safe when stale).  A sound cross-call cache needs a mutation
-    counter on :class:`Relation`; until then, correctness wins.
+    *rows* across calls requires invalidation on every mutation (unlike the
+    :func:`_relation_int_only` verdict, which is safe when stale).
+    ``Relation.version`` now makes such a cache sound; it is left unbuilt
+    because the serving layer (:mod:`repro.service`) already amortizes
+    repeated evaluations at a higher level — the epoch result cache — where
+    one hit skips the entire evaluation, not just the encode pass.
     """
     return {
         name: domain.encode_relation(database.relation(name))

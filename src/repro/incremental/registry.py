@@ -10,11 +10,33 @@ and the DRed overestimate run pre-mutation, everything else post-mutation).
 
 Wholesale relation replacement (``Database.add_relation``) carries no delta,
 so affected views are invalidated instead and rebuilt on their next use.
+
+Epochs and locking
+------------------
+The registry carries a monotone **epoch** counter: every effective
+maintenance round (one database mutation batch, or a wholesale relation
+replacement) advances it by one, and the set of predicates the round touched
+— the mutated EDB relation plus every view predicate whose materialized
+relation actually changed (detected by the relations' mutation
+``version`` counters, so a write that maintenance proves irrelevant to one
+derived relation does not invalidate cached answers on it) — is
+accumulated until a serving layer collects it with :meth:`collect_touched`.
+The serving layer (:mod:`repro.service`) keys its published snapshots and its
+result cache by that epoch, which is what makes "which cached answers does
+this write invalidate?" a precise set-membership question instead of a
+flush-everything guess.
+
+``registry.lock`` is a reentrant lock serializing maintenance rounds against
+each other and against snapshot publication.  :class:`~repro.incremental.session.Session`
+acquires it around every mutation and query, so one registry can safely be
+driven from many threads; readers that only touch published frozen snapshots
+never need it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.database import Database, DatabaseListener
 from ..datalog.errors import SchemaError
@@ -32,6 +54,15 @@ class ViewRegistry(DatabaseListener):
         self.views: Dict[str, MaterializedView] = {}
         #: maintenance work of the most recent mutation, across all views
         self.last_stats = EvaluationStats()
+        #: monotone maintenance-round counter (see module docstring)
+        self.epoch = 0
+        #: serializes maintenance rounds and snapshot publication (reentrant,
+        #: so the database hooks may fire while a Session already holds it)
+        self.lock = threading.RLock()
+        self._touched_since_collect: Set[str] = set()
+        #: per-round baseline of derived-relation versions (captured by the
+        #: ``before_*`` hook, diffed by the matching ``after_*`` hook)
+        self._round_versions: Dict[str, Dict[str, int]] = {}
         database.add_listener(self)
 
     # ------------------------------------------------------------------
@@ -74,29 +105,93 @@ class ViewRegistry(DatabaseListener):
         self.database.remove_listener(self)
 
     # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+    def collect_touched(self) -> Tuple[int, Set[str]]:
+        """The current epoch plus every predicate touched since the last collect.
+
+        The serving layer calls this once per snapshot publication; the
+        touched set is handed over (and reset), so two publications never
+        invalidate the same cached result twice.
+        """
+        with self.lock:
+            touched = self._touched_since_collect
+            self._touched_since_collect = set()
+            return self.epoch, touched
+
+    def _capture_versions(self, affected: List[MaterializedView]) -> None:
+        self._round_versions = {
+            view.name: {
+                predicate: relation.version
+                for predicate, relation in view.derived.items()
+            }
+            for view in affected
+        }
+
+    def _advance_epoch(self, name: str, affected: List[MaterializedView]) -> None:
+        """Bump the epoch; a touched predicate is one whose relation changed.
+
+        The mutated EDB relation always counts (the database filtered the
+        batch down to an effective delta before the hooks fired); a view
+        predicate counts only when its relation's ``version`` moved since the
+        ``before_*`` capture — maintenance that proved a write irrelevant to
+        a derived relation leaves its cached answers valid.
+        """
+        baseline = self._round_versions
+        self._round_versions = {}
+        self.epoch += 1
+        self._touched_since_collect.add(name)
+        for view in affected:
+            seen = baseline.get(view.name)
+            for predicate, relation in view.derived.items():
+                if seen is None or seen.get(predicate) != relation.version:
+                    self._touched_since_collect.add(predicate)
+
+    # ------------------------------------------------------------------
     # DatabaseListener protocol
     # ------------------------------------------------------------------
     def _affected(self, name: str) -> List[MaterializedView]:
         return [view for view in self.views.values() if view.relevant_to(name)]
 
     def before_insert(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
-        self.last_stats = EvaluationStats()
-        for view in self._affected(name):
-            self.last_stats.merge(view.before_insert(database, name, rows))
+        with self.lock:
+            self.last_stats = EvaluationStats()
+            affected = self._affected(name)
+            self._capture_versions(affected)
+            for view in affected:
+                self.last_stats.merge(view.before_insert(database, name, rows))
 
     def after_insert(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
-        for view in self._affected(name):
-            self.last_stats.merge(view.after_insert(database, name, rows))
+        with self.lock:
+            affected = self._affected(name)
+            for view in affected:
+                self.last_stats.merge(view.after_insert(database, name, rows))
+            self._advance_epoch(name, affected)
 
     def before_delete(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
-        self.last_stats = EvaluationStats()
-        for view in self._affected(name):
-            self.last_stats.merge(view.before_delete(database, name, rows))
+        with self.lock:
+            self.last_stats = EvaluationStats()
+            affected = self._affected(name)
+            self._capture_versions(affected)
+            for view in affected:
+                self.last_stats.merge(view.before_delete(database, name, rows))
 
     def after_delete(self, database: Database, name: str, rows: Tuple[Row, ...]) -> None:
-        for view in self._affected(name):
-            self.last_stats.merge(view.after_delete(database, name, rows))
+        with self.lock:
+            affected = self._affected(name)
+            for view in affected:
+                self.last_stats.merge(view.after_delete(database, name, rows))
+            self._advance_epoch(name, affected)
 
     def on_relation_replaced(self, database: Database, name: str) -> None:
-        for view in self._affected(name):
-            view.invalidate()
+        with self.lock:
+            affected = self._affected(name)
+            for view in affected:
+                view.invalidate()
+            # no before-hook ran, so no baseline exists: every predicate of
+            # an invalidated view is conservatively touched
+            self._round_versions = {}
+            self.epoch += 1
+            self._touched_since_collect.add(name)
+            for view in affected:
+                self._touched_since_collect.update(view.predicates)

@@ -28,12 +28,12 @@ no fixpoint, no rewrite chain, no per-query evaluation at all.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Sequence, Set, Union
 
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError
 from ..datalog.parser import parse_program
-from ..datalog.relation import Value
+from ..datalog.relation import Row, Value
 from ..datalog.rules import Program
 from ..engine.instrumentation import EvaluationStats
 from ..engine.query import QueryResult, answer, as_selection_query
@@ -43,7 +43,7 @@ from .view import MaterializedView
 RowsLike = Union[Sequence[Value], Iterable[Sequence[Value]]]
 
 
-def _as_rows(rows: RowsLike) -> list:
+def as_rows(rows: RowsLike) -> list:
     """Accept one row (a tuple of scalars) or an iterable of rows.
 
     A bare string is one *value*, not an iterable of rows — iterating it
@@ -68,6 +68,11 @@ class Session:
     view registry maintains every pinned relation in place; ``query`` routes
     selections on materialized predicates straight to indexed lookups and
     falls back to :func:`repro.answer` for anything else.
+
+    Mutations and view-routed queries hold the registry's reentrant lock, so
+    a Session may be shared between threads; for many concurrent readers use
+    :class:`repro.service.DatalogService`, whose published snapshots let
+    readers skip the lock entirely.
     """
 
     def __init__(
@@ -89,15 +94,17 @@ class Session:
     # ------------------------------------------------------------------
     def insert(self, name: str, rows: RowsLike) -> int:
         """Insert one row or many into relation ``name``; returns how many were new."""
-        # a no-op mutation fires no hooks, so clear last_stats up front lest
-        # it keep reporting the previous operation's work
-        self.registry.last_stats = EvaluationStats()
-        return self.database.insert_facts(name, _as_rows(rows))
+        with self.registry.lock:
+            # a no-op mutation fires no hooks, so clear last_stats up front lest
+            # it keep reporting the previous operation's work
+            self.registry.last_stats = EvaluationStats()
+            return self.database.insert_facts(name, as_rows(rows))
 
     def delete(self, name: str, rows: RowsLike) -> int:
         """Delete one row or many from relation ``name``; returns how many were present."""
-        self.registry.last_stats = EvaluationStats()
-        return self.database.remove_facts(name, _as_rows(rows))
+        with self.registry.lock:
+            self.registry.last_stats = EvaluationStats()
+            return self.database.remove_facts(name, as_rows(rows))
 
     # ------------------------------------------------------------------
     # queries
@@ -114,43 +121,60 @@ class Session:
         cross-checking the view against live evaluation.
         """
         if strategy != "view":
-            return answer(self.program, self.database, query, strategy=strategy)
+            # evaluation reads the live database, so it must exclude writers
+            # just as the view paths below do
+            with self.registry.lock:
+                return answer(self.program, self.database, query, strategy=strategy)
         selection = as_selection_query(self.program, query)
-        view = self.registry.view_for(selection.predicate)
-        if view is not None:
-            if not view.fresh:
-                view.refresh(self.database)
-            stats = EvaluationStats()
-            stats.start_timer()
-            relation = view.relation(selection.predicate)
-            if relation.arity != selection.arity:
-                raise EvaluationError(
-                    f"query {selection} has arity {selection.arity}, but the view "
-                    f"materializes {selection.predicate}/{relation.arity}"
+        with self.registry.lock:
+            view = self.registry.view_for(selection.predicate)
+            if view is not None:
+                if not view.fresh:
+                    view.refresh(self.database)
+                stats = EvaluationStats()
+                stats.start_timer()
+                relation = view.relation(selection.predicate)
+                if relation.arity != selection.arity:
+                    raise EvaluationError(
+                        f"query {selection} has arity {selection.arity}, but the view "
+                        f"materializes {selection.predicate}/{relation.arity}"
+                    )
+                rows = relation.lookup(selection.bindings_dict())
+                stats.record_lookup(len(rows), restricted=bool(selection.bindings))
+                stats.stop_timer()
+                return QueryResult(
+                    selection,
+                    set(rows),
+                    stats,
+                    strategy=f"materialized-view ({view.strategy})",
+                    provenance=view.provenance,
                 )
-            rows = relation.lookup(selection.bindings_dict())
-            stats.record_lookup(len(rows), restricted=bool(selection.bindings))
-            stats.stop_timer()
-            return QueryResult(
-                selection,
-                set(rows),
-                stats,
-                strategy=f"materialized-view ({view.strategy})",
-                provenance=view.provenance,
-            )
-        if self.database.has_relation(selection.predicate):
-            stats = EvaluationStats()
-            stats.start_timer()
-            relation = self.database.relation(selection.predicate)
-            rows = relation.lookup(selection.bindings_dict())
-            stats.record_lookup(len(rows), restricted=bool(selection.bindings))
-            stats.stop_timer()
-            return QueryResult(selection, set(rows), stats, strategy="edb-lookup")
-        return answer(self.program, self.database, query)
+            if self.database.has_relation(selection.predicate):
+                stats = EvaluationStats()
+                stats.start_timer()
+                relation = self.database.relation(selection.predicate)
+                rows = relation.lookup(selection.bindings_dict())
+                stats.record_lookup(len(rows), restricted=bool(selection.bindings))
+                stats.stop_timer()
+                return QueryResult(selection, set(rows), stats, strategy="edb-lookup")
+            return answer(self.program, self.database, query)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def facts(self, name: str) -> Set[Row]:
+        """The decoded EDB rows currently stored under relation ``name``.
+
+        The read counterpart of :meth:`insert`/:meth:`delete`: a copy of the
+        stored tuple set in caller-value space (EDB relations are stored
+        undecoded — interning only happens inside the engine — so no decode
+        pass is needed).  Unknown relations return an empty set, mirroring
+        how :meth:`delete` treats them as empty.
+        """
+        with self.registry.lock:
+            if not self.database.has_relation(name):
+                return set()
+            return set(self.database.relation(name).rows())
     @property
     def maintenance_stats(self) -> EvaluationStats:
         """Cumulative maintenance work of the session's view."""

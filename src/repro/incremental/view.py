@@ -148,6 +148,17 @@ class MaterializedView:
         """The materialized relation for ``predicate``."""
         return self.derived[predicate]
 
+    def snapshot(self) -> Dict[str, Relation]:
+        """Immutable frozen handles for every materialized relation, in O(1).
+
+        Each handle is a copy-on-write :meth:`~repro.datalog.relation.Relation.freeze`:
+        readers holding the snapshot keep seeing exactly this instant's tuples
+        while maintenance continues mutating the live relations underneath.
+        Callers that need a consistent *epoch* must hold the registry lock
+        across :func:`ViewRegistry.collect_touched` and this call.
+        """
+        return {predicate: relation.freeze() for predicate, relation in self.derived.items()}
+
     def relevant_to(self, name: str) -> bool:
         """``True`` when updates to relation ``name`` can change this view.
 

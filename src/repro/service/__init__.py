@@ -1,0 +1,36 @@
+"""The concurrent serving layer: snapshot-isolated reads, coalesced writes.
+
+The engine answers one query fast (:func:`repro.answer`); the incremental
+layer keeps answers fresh across updates (:class:`repro.Session`); this
+package serves them to *many clients at once*:
+
+* :class:`ServiceSnapshot` — an immutable, epoch-stamped view of the
+  database and its materialized relations, published in O(1) via
+  copy-on-write :meth:`~repro.datalog.relation.Relation.freeze`;
+* :class:`WriteQueue` / :class:`FlushPolicy` — concurrent writes batched
+  into one maintenance round per flush (size, latency-deadline and barrier
+  triggers), amortizing DRed/counting deltas across clients;
+* :class:`EpochCache` — query results memoized per epoch, invalidated by
+  exactly the predicates each maintenance round touched;
+* :class:`DatalogService` — the front door: ``submit``/``query``,
+  ``insert``/``delete``, ``barrier``, with pinned :class:`ServiceStats`.
+"""
+
+from .cache import EpochCache
+from .queue import CoalescedWrite, FlushPolicy, WriteQueue, WriteTicket, coalesce
+from .service import DatalogService, ServiceResult, ServiceStats
+from .snapshot import ServiceSnapshot, take_snapshot
+
+__all__ = [
+    "CoalescedWrite",
+    "DatalogService",
+    "EpochCache",
+    "FlushPolicy",
+    "ServiceResult",
+    "ServiceSnapshot",
+    "ServiceStats",
+    "WriteQueue",
+    "WriteTicket",
+    "coalesce",
+    "take_snapshot",
+]

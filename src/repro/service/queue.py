@@ -1,0 +1,217 @@
+"""Write coalescing: many client writes, one maintenance round.
+
+Incremental maintenance (PR 3's DRed / counting machinery) prices a mutation
+round mostly by its fixed costs — hook dispatch, delta seeding, stratum
+walks — so ten clients each inserting one fact pay nearly ten times what one
+client inserting ten facts pays.  The :class:`WriteQueue` recovers that
+factor for concurrent writers: client ``insert``/``delete`` calls enqueue
+:class:`WriteTicket`\\ s and return immediately; a single flusher thread
+drains the queue per :class:`FlushPolicy` and applies each drained batch as
+one maintenance round.
+
+Coalescing is *net effect per (relation, row)*: within one batch the last
+operation on a row wins, which is equivalent to sequential application for
+the resulting database state (Datalog relations are sets, so per-row
+last-write-wins composes), and therefore for the resulting views (a
+maintained view is a pure function of the database).  Intermediate states
+skipped by coalescing are unobservable by construction — readers only ever
+see published post-flush epochs.
+
+Flush triggers, any of which releases a waiting flusher:
+
+* **size** — at least ``policy.max_batch`` tickets are pending;
+* **latency deadline** — the oldest pending ticket has waited
+  ``policy.max_delay_seconds``;
+* **explicit barrier** — a barrier ticket flushes everything queued before
+  it immediately (``DatalogService.barrier`` waits for the resulting epoch).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..datalog.relation import Row
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When the flusher should stop waiting for more writes to coalesce.
+
+    ``max_batch`` bounds how many tickets one round may absorb (reaching it
+    flushes immediately); ``max_delay_seconds`` bounds how long the oldest
+    write may wait (the latency deadline).  A barrier always flushes now.
+    """
+
+    max_batch: int = 64
+    max_delay_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("FlushPolicy.max_batch must be at least 1")
+        if self.max_delay_seconds < 0:
+            raise ValueError("FlushPolicy.max_delay_seconds cannot be negative")
+
+
+class WriteTicket:
+    """One enqueued write (or barrier) and its completion signal.
+
+    ``wait`` blocks until the flusher has applied (or failed) the batch
+    containing this ticket and returns the epoch whose published snapshot
+    includes the write; a flush failure re-raises the flusher's exception in
+    the waiting client thread.
+    """
+
+    __slots__ = ("op", "relation", "rows", "enqueued_at", "epoch", "error", "_done")
+
+    INSERT = "insert"
+    DELETE = "delete"
+    BARRIER = "barrier"
+
+    def __init__(self, op: str, relation: Optional[str] = None, rows: Tuple[Row, ...] = ()) -> None:
+        if op not in (self.INSERT, self.DELETE, self.BARRIER):
+            raise ValueError(f"unknown write operation {op!r}")
+        self.op = op
+        self.relation = relation
+        self.rows = tuple(rows)
+        self.enqueued_at: float = 0.0
+        self.epoch: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.op == self.BARRIER
+
+    def done(self) -> bool:
+        """``True`` once the ticket's batch has been applied (or failed)."""
+        return self._done.is_set()
+
+    def resolve(self, epoch: Optional[int] = None, error: Optional[BaseException] = None) -> None:
+        """Mark the ticket finished (flusher side)."""
+        self.epoch = epoch
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until applied; returns the epoch that includes this write."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"write {self} not applied within {timeout}s")
+        if self.error is not None:
+            raise self.error
+        assert self.epoch is not None
+        return self.epoch
+
+    def __str__(self) -> str:
+        if self.is_barrier:
+            return "WriteTicket(barrier)"
+        return f"WriteTicket({self.op} {self.relation} ×{len(self.rows)})"
+
+
+@dataclass
+class CoalescedWrite:
+    """The net effect of one drained batch on one relation."""
+
+    relation: str
+    deletes: List[Row]
+    inserts: List[Row]
+
+
+def coalesce(tickets: List[WriteTicket]) -> List[CoalescedWrite]:
+    """Net-effect plan for a batch: last operation per (relation, row) wins.
+
+    Produces at most one delete batch and one insert batch per relation
+    (their row sets are disjoint by construction), in first-touched relation
+    order with stable row order — deterministic for tests and logs.
+    """
+    net: "OrderedDict[Tuple[str, Row], str]" = OrderedDict()
+    for ticket in tickets:
+        if ticket.is_barrier:
+            continue
+        for row in ticket.rows:
+            key = (ticket.relation, row)
+            net.pop(key, None)  # re-append so later ops keep arrival order
+            net[key] = ticket.op
+    grouped: "OrderedDict[str, CoalescedWrite]" = OrderedDict()
+    for (relation, row), op in net.items():
+        group = grouped.get(relation)
+        if group is None:
+            group = grouped[relation] = CoalescedWrite(relation, [], [])
+        (group.deletes if op == WriteTicket.DELETE else group.inserts).append(row)
+    return list(grouped.values())
+
+
+class WriteQueue:
+    """A thread-safe ticket queue with policy-driven blocking drains."""
+
+    def __init__(self, policy: Optional[FlushPolicy] = None) -> None:
+        self.policy = policy or FlushPolicy()
+        self._cond = threading.Condition()
+        self._pending: List[WriteTicket] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def put(self, ticket: WriteTicket) -> WriteTicket:
+        """Enqueue a ticket; wakes the flusher when a trigger is reached."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("write queue is closed")
+            ticket.enqueued_at = time.monotonic()
+            self._pending.append(ticket)
+            self._cond.notify_all()
+        return ticket
+
+    def close(self) -> None:
+        """Refuse new tickets and wake the flusher to drain what remains."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # flusher side
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def pending(self) -> int:
+        """How many tickets are waiting (snapshot; racy by nature)."""
+        with self._cond:
+            return len(self._pending)
+
+    def _ready(self) -> bool:
+        if len(self._pending) >= self.policy.max_batch:
+            return True
+        return any(ticket.is_barrier for ticket in self._pending)
+
+    def drain(self) -> Optional[List[WriteTicket]]:
+        """Block per policy, then take every pending ticket at once.
+
+        Returns ``None`` when the queue is closed and fully drained (the
+        flusher's exit signal).  A drain may exceed ``max_batch`` tickets —
+        the cap is a *trigger*, not a splitter; everything pending rides the
+        same maintenance round.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    if self._closed or self._ready():
+                        break
+                    age = time.monotonic() - self._pending[0].enqueued_at
+                    remaining = self.policy.max_delay_seconds - age
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                else:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+            batch = self._pending
+            self._pending = []
+            return batch

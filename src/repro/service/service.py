@@ -1,0 +1,357 @@
+"""``DatalogService`` — the concurrent serving front door.
+
+One service owns one :class:`repro.Session` and turns it into a multi-client
+endpoint:
+
+* **readers never block writers** — every query runs against the most
+  recently *published* :class:`~repro.service.snapshot.ServiceSnapshot`
+  (immutable, epoch-stamped, O(1) to publish), so a reader needs no lock at
+  all: grabbing the snapshot reference is the entire synchronization;
+* **writers never pay per-client maintenance** — ``insert``/``delete``
+  enqueue tickets on a :class:`~repro.service.queue.WriteQueue`; a single
+  flusher thread drains them per :class:`~repro.service.queue.FlushPolicy`
+  and applies each drained batch as one coalesced maintenance round, then
+  publishes the next epoch;
+* **repeated queries cost a dict probe** — answers are memoized in an
+  :class:`~repro.service.cache.EpochCache` keyed by the epoch the reader
+  observed, invalidated per publication by exactly the predicates the
+  maintenance round touched.
+
+The synchronous :meth:`DatalogService.query` answers in the calling thread
+(the cheapest path for clients that are themselves threads); ``submit``
+dispatches to the service's reader pool and returns a
+:class:`concurrent.futures.Future`.  ``barrier()`` flushes every write
+enqueued before it and returns the published epoch, giving clients
+read-your-writes when they want it.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Set, Union
+
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError
+from ..datalog.relation import Row
+from ..datalog.rules import Program
+from ..engine.instrumentation import EvaluationStats
+from ..engine.query import QueryResult, SelectionQuery, answer, as_selection_query
+from ..incremental.session import RowsLike, Session, as_rows
+from .cache import EpochCache
+from .queue import FlushPolicy, WriteQueue, WriteTicket, coalesce
+from .snapshot import ServiceSnapshot, take_snapshot
+
+
+@dataclass
+class ServiceStats:
+    """Pinned service counters, in the :class:`EvaluationStats` mold."""
+
+    #: queries answered (cache hits, snapshot lookups and fallbacks alike)
+    queries_served: int = 0
+    #: queries answered straight from the epoch cache
+    cache_hits: int = 0
+    #: queries that had to consult the snapshot (and then primed the cache)
+    cache_misses: int = 0
+    #: cache misses answered by one frozen-relation lookup
+    snapshot_lookups: int = 0
+    #: cache misses answered by full evaluation over the snapshot database
+    fallback_evaluations: int = 0
+    #: client write requests accepted onto the queue
+    writes_enqueued: int = 0
+    #: write requests applied by the flusher (excludes barriers)
+    writes_applied: int = 0
+    #: drained batches that contained at least one write
+    flushes: int = 0
+    #: effective database maintenance rounds those flushes cost
+    maintenance_rounds: int = 0
+    #: barrier requests served
+    barriers: int = 0
+    #: snapshot publications (epoch advances observed by readers)
+    epochs_published: int = 0
+
+    def coalescing_factor(self) -> float:
+        """Average writes amortized per flush (> 1.0 means coalescing paid off)."""
+        return self.writes_applied / self.flushes if self.flushes else 0.0
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of served queries answered from the epoch cache."""
+        return self.cache_hits / self.queries_served if self.queries_served else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat dictionary view, convenient for report tables and JSON."""
+        return {
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "snapshot_lookups": self.snapshot_lookups,
+            "fallback_evaluations": self.fallback_evaluations,
+            "writes_enqueued": self.writes_enqueued,
+            "writes_applied": self.writes_applied,
+            "flushes": self.flushes,
+            "maintenance_rounds": self.maintenance_rounds,
+            "barriers": self.barriers,
+            "epochs_published": self.epochs_published,
+            "coalescing_factor": round(self.coalescing_factor(), 3),
+            "cache_hit_rate": round(self.cache_hit_rate(), 3),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"queries={self.queries_served} (hits={self.cache_hits}) "
+            f"writes={self.writes_applied}/{self.flushes} flushes "
+            f"rounds={self.maintenance_rounds} epochs={self.epochs_published}"
+        )
+
+
+@dataclass
+class ServiceResult:
+    """A query answer plus the exact epoch (and snapshot) it observed."""
+
+    result: QueryResult
+    epoch: int
+    snapshot: ServiceSnapshot = field(repr=False)
+    cached: bool = False
+
+    @property
+    def answers(self) -> Set[Row]:
+        return self.result.answers
+
+    @property
+    def strategy(self) -> str:
+        return self.result.strategy
+
+    @property
+    def stats(self) -> EvaluationStats:
+        return self.result.stats
+
+    def __len__(self) -> int:
+        return len(self.result.answers)
+
+    def __str__(self) -> str:
+        return f"{self.result} @epoch {self.epoch}"
+
+
+class DatalogService:
+    """A thread-safe serving layer over one program's maintained views."""
+
+    def __init__(
+        self,
+        program: Union[Program, str],
+        database: Optional[Database] = None,
+        *,
+        readers: int = 4,
+        flush_policy: Optional[FlushPolicy] = None,
+        cache_entries: int = 1024,
+        name: str = "default",
+        max_unfold_depth: int = 8,
+    ) -> None:
+        self.session = Session(
+            program, database, name=name, max_unfold_depth=max_unfold_depth
+        )
+        self.queue = WriteQueue(flush_policy)
+        self.cache = EpochCache(cache_entries)
+        self._stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._snapshot = take_snapshot(self.session)
+        self.cache.advance(self._snapshot.epoch, set())
+        self._closed = False
+        self._readers = ThreadPoolExecutor(
+            max_workers=max(1, readers), thread_name_prefix="repro-reader"
+        )
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain pending writes, stop the flusher and shut the reader pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        self._flusher.join(timeout=30)
+        self._readers.shutdown(wait=True)
+
+    def __enter__(self) -> "DatalogService":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(
+        self, name: str, rows: RowsLike, *, wait: bool = False, timeout: Optional[float] = None
+    ) -> WriteTicket:
+        """Enqueue an insertion; with ``wait=True`` block until it is applied."""
+        return self._enqueue(WriteTicket(WriteTicket.INSERT, name, as_rows(rows)), wait, timeout)
+
+    def delete(
+        self, name: str, rows: RowsLike, *, wait: bool = False, timeout: Optional[float] = None
+    ) -> WriteTicket:
+        """Enqueue a deletion; with ``wait=True`` block until it is applied."""
+        return self._enqueue(WriteTicket(WriteTicket.DELETE, name, as_rows(rows)), wait, timeout)
+
+    def barrier(self, timeout: Optional[float] = None) -> int:
+        """Flush every write enqueued before this call; returns the epoch.
+
+        The returned epoch's published snapshot (and every later one)
+        includes all of those writes — the read-your-writes handshake.
+        """
+        ticket = self.queue.put(WriteTicket(WriteTicket.BARRIER))
+        with self._stats_lock:
+            self._stats.barriers += 1
+        return ticket.wait(timeout)
+
+    def _enqueue(self, ticket: WriteTicket, wait: bool, timeout: Optional[float]) -> WriteTicket:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self.queue.put(ticket)
+        with self._stats_lock:
+            self._stats.writes_enqueued += 1
+        if wait:
+            ticket.wait(timeout)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def query(self, query: Union[SelectionQuery, str]) -> ServiceResult:
+        """Answer in the calling thread against the current published epoch."""
+        selection = as_selection_query(self.session.program, query)
+        return self._answer(self._snapshot, selection)
+
+    def submit(self, query: Union[SelectionQuery, str]) -> "Future[ServiceResult]":
+        """Dispatch to the reader pool; the epoch is pinned at submission time."""
+        selection = as_selection_query(self.session.program, query)
+        snapshot = self._snapshot
+        return self._readers.submit(self._answer, snapshot, selection)
+
+    def snapshot(self) -> ServiceSnapshot:
+        """The currently published snapshot (immutable; safe to hold)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """The epoch readers are currently served from."""
+        return self._snapshot.epoch
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A point-in-time copy of the service counters."""
+        with self._stats_lock:
+            return replace(self._stats)
+
+    # ------------------------------------------------------------------
+    # internals: answering
+    # ------------------------------------------------------------------
+    def _answer(self, snapshot: ServiceSnapshot, selection: SelectionQuery) -> ServiceResult:
+        cached = self.cache.get(snapshot.epoch, selection)
+        if cached is not None:
+            result = QueryResult(
+                selection,
+                cached,
+                EvaluationStats(),
+                strategy=f"epoch-cache@{snapshot.epoch}",
+                provenance=snapshot.provenance,
+            )
+            with self._stats_lock:
+                self._stats.queries_served += 1
+                self._stats.cache_hits += 1
+            return ServiceResult(result, snapshot.epoch, snapshot, cached=True)
+
+        relation = snapshot.views.get(selection.predicate)
+        if relation is None and selection.predicate in snapshot.edb:
+            relation = snapshot.edb[selection.predicate]
+            strategy = f"snapshot-edb@{snapshot.epoch}"
+            provenance = None
+        else:
+            strategy = f"snapshot-view@{snapshot.epoch} ({snapshot.strategy})"
+            provenance = snapshot.provenance
+
+        if relation is not None:
+            if relation.arity != selection.arity:
+                raise EvaluationError(
+                    f"query {selection} has arity {selection.arity}, but the snapshot "
+                    f"serves {selection.predicate}/{relation.arity}"
+                )
+            stats = EvaluationStats()
+            stats.start_timer()
+            rows = relation.lookup(selection.bindings_dict())
+            stats.record_lookup(len(rows), restricted=bool(selection.bindings))
+            stats.stop_timer()
+            result = QueryResult(selection, set(rows), stats, strategy=strategy, provenance=provenance)
+            kind = "snapshot_lookups"
+        else:
+            result = answer(self.session.program, snapshot.as_database(), selection)
+            result.strategy = f"{result.strategy} @snapshot {snapshot.epoch}"
+            kind = "fallback_evaluations"
+
+        self.cache.put(snapshot.epoch, selection, result.answers)
+        with self._stats_lock:
+            self._stats.queries_served += 1
+            self._stats.cache_misses += 1
+            setattr(self._stats, kind, getattr(self._stats, kind) + 1)
+        return ServiceResult(result, snapshot.epoch, snapshot)
+
+    # ------------------------------------------------------------------
+    # internals: flushing
+    # ------------------------------------------------------------------
+    def _flush_loop(self) -> None:
+        while True:
+            batch = self.queue.drain()
+            if batch is None:
+                return
+            if batch:
+                self._apply(batch)
+
+    def _apply(self, batch) -> None:
+        """Apply one drained batch as a single coalesced maintenance round.
+
+        On failure every ticket in the batch carries the exception; groups
+        applied before the failing one stay applied (they are consistent —
+        just unpublished until the next successful flush).
+        """
+        writes = [ticket for ticket in batch if not ticket.is_barrier]
+        registry = self.session.registry
+        try:
+            with registry.lock:
+                epoch_before = registry.epoch
+                for group in coalesce(writes):
+                    if group.deletes:
+                        self.session.delete(group.relation, group.deletes)
+                    if group.inserts:
+                        self.session.insert(group.relation, group.inserts)
+                epoch = registry.epoch
+                rounds = epoch - epoch_before
+                published = None
+                if epoch != self._snapshot.epoch:
+                    _collected, touched = registry.collect_touched()
+                    published = take_snapshot(self.session)
+            if published is not None:
+                # cache first, snapshot second: a reader racing the publication
+                # either misses (old entries were dropped) or still reads the
+                # old epoch — never a new-epoch hit on stale answers
+                self.cache.advance(epoch, touched)
+                self._snapshot = published
+            with self._stats_lock:
+                if writes:
+                    self._stats.flushes += 1
+                    self._stats.writes_applied += len(writes)
+                    self._stats.maintenance_rounds += rounds
+                if published is not None:
+                    self._stats.epochs_published += 1
+            for ticket in batch:
+                ticket.resolve(epoch=epoch)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiting clients
+            for ticket in batch:
+                ticket.resolve(error=exc)
+
+    def __str__(self) -> str:
+        return f"DatalogService(epoch={self.epoch}, {self.session.view!s})"

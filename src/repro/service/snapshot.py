@@ -1,0 +1,96 @@
+"""Versioned snapshots: one epoch's consistent, immutable view of the world.
+
+A :class:`ServiceSnapshot` is what the serving layer publishes to readers
+after every maintenance round: the registry epoch it corresponds to, frozen
+handles for every materialized IDB relation, and frozen handles for every
+stored EDB relation.  Freezing is O(1) copy-on-write
+(:meth:`repro.datalog.relation.Relation.freeze`), so publication costs one
+dict walk regardless of database size; the *writer* pays the copy, lazily,
+on its first post-publication mutation of each relation it actually touches.
+
+Readers holding a snapshot never block writers and never observe a torn
+state: every lookup and every fallback evaluation runs against relations
+whose tuple sets are exactly those of the published epoch.  The only thing a
+reader may mutate is a frozen relation's lazy index cache, which is
+value-identical however the race resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..datalog.database import Database
+from ..datalog.relation import Relation
+from ..incremental.session import Session
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """An immutable, epoch-stamped view of one Session's database + views."""
+
+    #: the registry epoch this snapshot reflects (monotone across publications)
+    epoch: int
+    #: frozen materialized IDB relations, by predicate
+    views: Dict[str, Relation]
+    #: frozen stored EDB relations, by name
+    edb: Dict[str, Relation]
+    #: the maintenance strategy of the view the snapshot was taken from
+    strategy: str = "unregistered"
+    #: the view's registration provenance (a ``ViewProvenance``), if any
+    provenance: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def relation(self, predicate: str) -> Optional[Relation]:
+        """The frozen relation serving ``predicate`` (views win over EDB)."""
+        relation = self.views.get(predicate)
+        if relation is not None:
+            return relation
+        return self.edb.get(predicate)
+
+    def as_database(self) -> Database:
+        """A fresh :class:`Database` over the snapshot's frozen EDB relations.
+
+        Built per call so strategies that register scratch relations (magic
+        seeds, subsidiary materializations) mutate only their own container;
+        the frozen relations themselves reject mutation outright, which is
+        what keeps fallback evaluation — decode-on-exit included — snapshot
+        safe.
+        """
+        database = Database()
+        for relation in self.edb.values():
+            database.add_relation(relation)
+        return database
+
+    def total_tuples(self) -> int:
+        """Total tuples across the snapshot's view relations."""
+        return sum(len(relation) for relation in self.views.values())
+
+    def __str__(self) -> str:
+        return (
+            f"ServiceSnapshot(epoch={self.epoch}, views={len(self.views)}, "
+            f"edb={len(self.edb)})"
+        )
+
+
+def take_snapshot(session: Session) -> ServiceSnapshot:
+    """Publish the session's current state as an epoch-stamped snapshot.
+
+    Holds the registry lock, so the epoch, the view relations and the EDB
+    relations are mutually consistent even while writer threads are between
+    maintenance rounds.
+    """
+    registry = session.registry
+    with registry.lock:
+        view = session.view
+        if not view.fresh:
+            view.refresh(session.database)
+        return ServiceSnapshot(
+            epoch=registry.epoch,
+            views=view.snapshot(),
+            edb={
+                relation.name: relation.freeze()
+                for relation in session.database.relations()
+            },
+            strategy=view.strategy,
+            provenance=view.provenance,
+        )

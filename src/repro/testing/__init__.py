@@ -1,5 +1,12 @@
 """Randomized differential testing: seeded case generation + cross-engine diffing."""
 
+from .concurrent import (
+    ConcurrentCase,
+    ConcurrentReport,
+    generate_concurrent_case,
+    run_concurrent_batch,
+    run_concurrent_case,
+)
 from .differential import DifferentialReport, run_batch, run_differential
 from .generate import FAMILIES, DifferentialCase, generate_case, generate_cases
 from .updates import (
@@ -14,6 +21,8 @@ from .updates import (
 
 __all__ = [
     "FAMILIES",
+    "ConcurrentCase",
+    "ConcurrentReport",
     "DifferentialCase",
     "DifferentialReport",
     "UpdateSequenceCase",
@@ -21,9 +30,12 @@ __all__ = [
     "UpdateStep",
     "generate_case",
     "generate_cases",
+    "generate_concurrent_case",
     "generate_update_sequence",
     "generate_update_sequences",
     "run_batch",
+    "run_concurrent_batch",
+    "run_concurrent_case",
     "run_differential",
     "run_update_batch",
     "run_update_sequence",

@@ -1,0 +1,330 @@
+"""Concurrent differential testing: every answer must match its epoch.
+
+The serving layer's correctness claim is *per epoch*: whatever interleaving
+of readers, writers, flushes and barriers the scheduler produces, a query
+answered at epoch ``e`` must be tuple-identical to from-scratch semi-naive
+evaluation over the EDB state epoch ``e`` published.  That property is
+schedule-independent even though the schedule itself is not — each
+:class:`~repro.service.service.ServiceResult` carries the immutable snapshot
+it observed, so verification replays nothing: it rebuilds a database from
+each observed snapshot's frozen EDB relations and recomputes ground truth
+for exactly that state.
+
+Each seeded case extends an update-sequence case
+(:mod:`repro.testing.updates`) with a thread schedule: one writer replays
+the update script through the service's write queue (with seeded barriers
+sprinkled in, so coalescing windows vary), while several reader threads
+issue a seeded mix of view selections, whole-view scans and EDB lookups
+through both the synchronous and the pooled entry points.  After the
+threads join, a final barrier must expose exactly the sequentially-applied
+EDB state and its recomputed views — the writer's script is linear, so the
+final state is deterministic even though the interleaving is not.
+
+Checked invariants, per case:
+
+* every answered query equals recomputation over its observed epoch;
+* per reader, observed epochs are monotone nondecreasing (published
+  snapshots never travel backwards);
+* after the final barrier, the service's EDB equals sequential replay and
+  its views equal from-scratch evaluation;
+* the service agrees with a plain single-threaded :class:`repro.Session`
+  fed the same script.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..datalog.database import Database
+from ..datalog.relation import Relation
+from ..engine.query import SelectionQuery
+from ..engine.seminaive import seminaive_evaluate
+from ..service.queue import FlushPolicy
+from ..service.service import DatalogService, ServiceResult
+from .updates import UpdateSequenceCase, generate_update_sequence
+
+
+@dataclass(frozen=True)
+class ConcurrentCase:
+    """One seeded reader/writer schedule over an update-sequence case."""
+
+    seed: int
+    base: UpdateSequenceCase
+    readers: int
+    queries_per_reader: int
+    barrier_after: Tuple[int, ...]  # step indexes the writer barriers behind
+    policy: FlushPolicy
+
+    @property
+    def name(self) -> str:
+        return f"concurrent/{self.base.base.family}[seed={self.seed}]"
+
+
+@dataclass
+class ConcurrentReport:
+    """Outcome of one concurrent schedule."""
+
+    case: ConcurrentCase
+    mismatches: List[str] = field(default_factory=list)
+    #: individually verified query answers
+    queries_checked: int = 0
+    #: distinct epochs readers actually observed
+    epochs_observed: int = 0
+    writes: int = 0
+    flushes: int = 0
+    maintenance_rounds: int = 0
+    cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} mismatches"
+        return (
+            f"{self.case.name}: {self.queries_checked} answers over "
+            f"{self.epochs_observed} epochs, {self.writes} writes in "
+            f"{self.flushes} flushes ({self.maintenance_rounds} rounds): {status}"
+        )
+
+
+def generate_concurrent_case(seed: int) -> ConcurrentCase:
+    """Deterministically generate one concurrent schedule from ``seed``."""
+    base = generate_update_sequence(seed)
+    rng = random.Random(0xC0 ^ (2_000_003 * seed))
+    barrier_after = tuple(
+        index for index in range(len(base.steps)) if rng.random() < 0.25
+    )
+    return ConcurrentCase(
+        seed=seed,
+        base=base,
+        readers=rng.randrange(2, 5),
+        queries_per_reader=rng.randrange(6, 12),
+        barrier_after=barrier_after,
+        policy=FlushPolicy(
+            max_batch=rng.randrange(2, 7),
+            max_delay_seconds=rng.choice((0.001, 0.002, 0.005)),
+        ),
+    )
+
+
+def _query_pool(case: ConcurrentCase, service: DatalogService) -> List[SelectionQuery]:
+    """The seeded queries readers draw from: view selections + EDB lookups."""
+    base = case.base.base
+    rng = random.Random(0xD1 ^ (3_000_017 * case.seed))
+    pool: List[SelectionQuery] = [base.query]
+    view_predicates = sorted(service.session.view.predicates)
+    for predicate in view_predicates:
+        arity = service.session.view.relation(predicate).arity
+        pool.append(SelectionQuery.of(predicate, arity))  # whole-view scan
+    domain = sorted(base.database.active_domain(), key=repr)
+    for name in sorted(base.program.edb_predicates()):
+        if not base.database.has_relation(name):
+            continue
+        arity = base.database.relation(name).arity
+        pool.append(SelectionQuery.of(name, arity))
+        if domain:
+            pool.append(
+                SelectionQuery.of(name, arity, {rng.randrange(arity): rng.choice(domain)})
+            )
+    return pool
+
+
+def _reader(
+    case: ConcurrentCase,
+    service: DatalogService,
+    index: int,
+    pool: List[SelectionQuery],
+    out: List[ServiceResult],
+    errors: List[str],
+    stop: threading.Event,
+) -> None:
+    rng = random.Random(0xEE ^ (4_000_037 * case.seed) ^ (7_001 * index))
+    try:
+        for _ in range(case.queries_per_reader):
+            query = rng.choice(pool)
+            if rng.random() < 0.4:
+                out.append(service.submit(query).result(timeout=30))
+            else:
+                out.append(service.query(query))
+            if stop.is_set():
+                break
+    except BaseException as exc:  # noqa: BLE001 - surfaced as a mismatch
+        errors.append(f"reader {index}: {type(exc).__name__}: {exc}")
+
+
+def _writer(case: ConcurrentCase, service: DatalogService, errors: List[str]) -> None:
+    barrier_after = set(case.barrier_after)
+    try:
+        for index, step in enumerate(case.base.steps):
+            if step.op == "insert":
+                service.insert(step.relation, list(step.rows))
+            else:
+                service.delete(step.relation, list(step.rows))
+            if index in barrier_after:
+                service.barrier(timeout=30)
+    except BaseException as exc:  # noqa: BLE001 - surfaced as a mismatch
+        errors.append(f"writer: {type(exc).__name__}: {exc}")
+
+
+def _rebuild_database(edb: Dict[str, Relation]) -> Database:
+    """A mutable database with the same tuples as a snapshot's frozen EDB."""
+    return Database(
+        Relation(relation.name, relation.arity, relation.rows())
+        for relation in edb.values()
+    )
+
+
+def _expected_answers(
+    reference: Dict[str, Relation], database: Database, query: SelectionQuery
+) -> Set[Tuple]:
+    if query.predicate in reference:
+        return query.select(reference[query.predicate].rows())
+    if database.has_relation(query.predicate):
+        return query.select(database.relation(query.predicate).rows())
+    return set()
+
+
+def run_concurrent_case(case: ConcurrentCase) -> ConcurrentReport:
+    """Run one schedule and verify every answer against its observed epoch."""
+    report = ConcurrentReport(case)
+    program = case.base.base.program
+    service = DatalogService(
+        program,
+        case.base.base.database.copy(),
+        readers=2,
+        flush_policy=case.policy,
+    )
+    try:
+        pool = _query_pool(case, service)
+        errors: List[str] = []
+        stop = threading.Event()
+        observed: List[List[ServiceResult]] = [[] for _ in range(case.readers)]
+        threads = [
+            threading.Thread(
+                target=_reader,
+                args=(case, service, index, pool, observed[index], errors, stop),
+                name=f"case-reader-{index}",
+            )
+            for index in range(case.readers)
+        ]
+        writer = threading.Thread(
+            target=_writer, args=(case, service, errors), name="case-writer"
+        )
+        for thread in threads:
+            thread.start()
+        writer.start()
+        writer.join(timeout=60)
+        for thread in threads:
+            thread.join(timeout=60)
+        stop.set()
+        if writer.is_alive() or any(thread.is_alive() for thread in threads):
+            report.mismatches.append("thread did not finish within 60s")
+            return report
+        report.mismatches.extend(errors)
+
+        final_epoch = service.barrier(timeout=30)
+        final = service.query(case.base.base.query)
+        if final.epoch < final_epoch:
+            report.mismatches.append(
+                f"final query observed epoch {final.epoch} < barrier epoch {final_epoch}"
+            )
+        for results in observed:
+            results.append(final)
+
+        # ------------------------------------------------------------------
+        # invariant 1+2: per-answer agreement with its epoch, monotone epochs
+        # ------------------------------------------------------------------
+        references: Dict[int, Tuple[Dict[str, Relation], Database]] = {}
+        for results in observed:
+            last_epoch = -1
+            for result in results:
+                if result.epoch < last_epoch:
+                    report.mismatches.append(
+                        f"epochs moved backwards for one reader: "
+                        f"{result.epoch} after {last_epoch}"
+                    )
+                last_epoch = max(last_epoch, result.epoch)
+                cached = references.get(result.epoch)
+                if cached is None:
+                    database = _rebuild_database(result.snapshot.edb)
+                    cached = (seminaive_evaluate(program, database), database)
+                    references[result.epoch] = cached
+                reference, database = cached
+                expected = _expected_answers(reference, database, result.result.query)
+                if result.answers != expected:
+                    extra = sorted(result.answers - expected, key=repr)[:5]
+                    missing = sorted(expected - result.answers, key=repr)[:5]
+                    report.mismatches.append(
+                        f"{result.result.query} @epoch {result.epoch} "
+                        f"({result.strategy}): {len(result.answers)} answers vs "
+                        f"{len(expected)} recomputed (extra {extra}, missing {missing})"
+                    )
+                report.queries_checked += 1
+        report.epochs_observed = len(references)
+
+        # ------------------------------------------------------------------
+        # invariant 3: final state equals sequential replay
+        # ------------------------------------------------------------------
+        shadow = case.base.base.database.copy()
+        for step in case.base.steps:
+            for row in step.rows:
+                if step.op == "insert":
+                    shadow.add_fact(step.relation, row)
+                else:
+                    shadow.remove_fact(step.relation, row)
+        snapshot = service.snapshot()
+        for name in sorted(set(snapshot.edb) | shadow.names()):
+            snapshot_rows = snapshot.edb[name].rows() if name in snapshot.edb else set()
+            shadow_rows = shadow.relation(name).rows() if shadow.has_relation(name) else set()
+            if snapshot_rows != shadow_rows:
+                report.mismatches.append(
+                    f"final EDB {name}: service has {len(snapshot_rows)} rows, "
+                    f"sequential replay has {len(shadow_rows)}"
+                )
+        recomputed = seminaive_evaluate(program, shadow)
+        for predicate in sorted(set(snapshot.views) | set(recomputed)):
+            view_rows = snapshot.views[predicate].rows() if predicate in snapshot.views else set()
+            reference_rows = recomputed[predicate].rows() if predicate in recomputed else set()
+            if predicate not in snapshot.views:
+                continue  # subsidiary strata the plan program dropped
+            if view_rows != reference_rows:
+                report.mismatches.append(
+                    f"final view {predicate}: {len(view_rows)} vs recomputed "
+                    f"{len(reference_rows)} rows"
+                )
+
+        # ------------------------------------------------------------------
+        # invariant 4: agreement with a single-threaded Session replay
+        # ------------------------------------------------------------------
+        from ..incremental.session import Session
+
+        session = Session(program, case.base.base.database.copy())
+        for step in case.base.steps:
+            if step.op == "insert":
+                session.insert(step.relation, list(step.rows))
+            else:
+                session.delete(step.relation, list(step.rows))
+        sequential = session.query(case.base.base.query)
+        if sequential.answers != final.answers:
+            report.mismatches.append(
+                f"final answers diverge from single-threaded Session: "
+                f"service {len(final.answers)} vs session {len(sequential.answers)}"
+            )
+
+        stats = service.stats
+        report.writes = stats.writes_applied
+        report.flushes = stats.flushes
+        report.maintenance_rounds = stats.maintenance_rounds
+        report.cache_hits = stats.cache_hits
+        return report
+    finally:
+        service.close()
+
+
+def run_concurrent_batch(cases) -> List[ConcurrentReport]:
+    """Run many schedules; returns their reports."""
+    return [run_concurrent_case(case) for case in cases]

@@ -152,3 +152,31 @@ class TestEngineBoundary:
         assert {type(value) for _s, value in answers} == {int, float}
         session.insert("b", ("m", "tail"))
         assert ("s", "tail") in session.query("t(s, Y)?").answers
+
+
+class TestIntOnlyVerdictCache:
+    """The memoized all-int scan is keyed on Relation.version, not row count."""
+
+    def test_len_preserving_mutation_flips_the_verdict(self):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(2, 3)]})
+        assert domain_for(PROGRAM, database) is None  # all ints: evaluate raw
+        relation = database.relation("b")
+        relation.discard((2, 3))
+        relation.add((2, "three"))  # same row count, no longer int-only
+        assert domain_for(PROGRAM, database) is not None
+
+    def test_reverting_to_int_only_is_seen_too(self):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(2, "x")]})
+        assert domain_for(PROGRAM, database) is not None
+        relation = database.relation("b")
+        relation.discard((2, "x"))
+        relation.add((2, 3))
+        assert domain_for(PROGRAM, database) is None
+
+    def test_unmutated_relations_reuse_the_cached_verdict(self):
+        database = Database.from_dict({"a": [(1, 2)], "b": [(2, 3)]})
+        relation = database.relation("a")
+        before = relation.version
+        assert domain_for(PROGRAM, database) is None
+        assert domain_for(PROGRAM, database) is None
+        assert relation.version == before  # scans never mutate

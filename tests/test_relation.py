@@ -267,3 +267,81 @@ class TestMixedMutationIndexConsistency:
         relation.discard((1, 7))
         relation.discard((1, 9))
         assert list(relation.probe((0,), 1)) == []
+
+
+class TestFreezeSnapshots:
+    """freeze(): O(1) immutable handles with copy-on-write isolation."""
+
+    @pytest.fixture
+    def edges(self):
+        return Relation("a", 2, [(1, 2), (1, 3), (2, 3)])
+
+    def test_frozen_handle_sees_the_freeze_instant(self, edges):
+        snapshot = edges.freeze()
+        assert snapshot.frozen and not edges.frozen
+        assert snapshot.rows() == edges.rows()
+        assert snapshot.name == "a" and snapshot.arity == 2
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r: r.add((9, 9)),
+            lambda r: r.add_all([(9, 9)]),
+            lambda r: r.union_update({(9, 9)}),
+            lambda r: r.discard((1, 2)),
+            lambda r: r.discard((77, 77)),  # even a no-op discard must raise
+            lambda r: r.discard_all([(1, 2)]),
+            lambda r: r.clear(),
+        ],
+    )
+    def test_mutating_a_frozen_snapshot_raises(self, edges, mutate):
+        snapshot = edges.freeze()
+        with pytest.raises(SchemaError, match="frozen snapshot"):
+            mutate(snapshot)
+        assert snapshot.rows() == {(1, 2), (1, 3), (2, 3)}
+
+    def test_live_mutations_do_not_leak_into_the_snapshot(self, edges):
+        edges.lookup({0: 1})  # register an index that the snapshot shares
+        snapshot = edges.freeze()
+        edges.add((5, 6))
+        edges.discard((1, 2))
+        edges.add_all([(7, 8)])
+        edges.union_update({(8, 9)})
+        assert snapshot.rows() == {(1, 2), (1, 3), (2, 3)}
+        assert set(snapshot.lookup({0: 1})) == {(1, 2), (1, 3)}
+        assert set(snapshot.probe((0,), 5)) == set()
+        assert edges.rows() == {(1, 3), (2, 3), (5, 6), (7, 8), (8, 9)}
+        assert set(edges.lookup({0: 1})) == {(1, 3)}
+
+    def test_clear_detaches_without_corrupting_the_snapshot(self, edges):
+        edges.lookup({0: 1})
+        snapshot = edges.freeze()
+        edges.clear()
+        assert len(edges) == 0
+        assert snapshot.rows() == {(1, 2), (1, 3), (2, 3)}
+        assert set(snapshot.lookup({0: 1})) == {(1, 2), (1, 3)}
+        # the live side keeps its registered signature across the clear
+        edges.add((1, 9))
+        assert set(edges.probe((0,), 1)) == {(1, 9)}
+
+    def test_freeze_is_idempotent_and_repeated_freezes_share(self, edges):
+        first = edges.freeze()
+        assert first.freeze() is first
+        second = edges.freeze()  # no mutation in between: another O(1) share
+        assert second.rows() == first.rows()
+        edges.add((9, 9))
+        assert first.rows() == second.rows() == {(1, 2), (1, 3), (2, 3)}
+
+    def test_lazy_index_build_on_frozen_is_allowed(self, edges):
+        snapshot = edges.freeze()
+        edges.add((1, 9))  # live detaches first
+        # a probe signature never built before the freeze builds lazily
+        assert set(snapshot.probe((1,), 3)) == {(1, 3), (2, 3)}
+        assert snapshot.rows() == {(1, 2), (1, 3), (2, 3)}
+
+    def test_copy_of_a_frozen_snapshot_is_mutable(self, edges):
+        snapshot = edges.freeze()
+        clone = snapshot.copy()
+        assert not clone.frozen
+        clone.add((9, 9))
+        assert (9, 9) in clone and (9, 9) not in snapshot
