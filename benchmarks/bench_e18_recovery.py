@@ -1,0 +1,169 @@
+"""E18 — durable persistence: write amplification, recovery time, compaction.
+
+Measured claims (the storage layer's reason to exist):
+
+* **bounded write amplification** — every flushed batch becomes exactly one
+  CRC-framed WAL record of struct-packed int rows plus the dictionary
+  entries the batch introduced, so the bytes appended per logged row stay a
+  small constant multiple of the raw ``arity × 8`` code payload, regardless
+  of how long the service runs;
+* **recovery = snapshot + WAL tail** — recovering a compacted store (short
+  WAL tail behind a covering snapshot) must be strictly faster than
+  replaying the same history from the genesis snapshot through the full
+  WAL, and both must reconstruct **tuple-identical** state: same epoch,
+  same EDB, same served answers (replay idempotence in the large);
+* **compaction pays for itself** — the compacted store reaches the same
+  state while keeping at most ``snapshot_interval`` records on disk.
+
+Workload: the E15/E17 forest (transitive closure over disjoint binary
+trees) grown edge-by-edge through a durable ``DatalogService``.  Emitted to
+``BENCH_e18.json``: write-amplification ratio, full-WAL vs compacted
+recovery timings (min over 3), records replayed on each path, and the
+``states_identical`` flag the CI smoke job guards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DatalogService, FlushPolicy
+from repro.storage import DurableStore, StorageConfig, segment_files
+from repro.workloads import transitive_closure, uniform_tree
+
+from .helpers import attach, emit, run_once
+
+TREES = 6
+TREE_DEPTH = 5
+#: effective single-edge inserts driven through each durable service
+WRITES = 360
+#: the compacted store snapshots every this-many WAL records
+COMPACT_INTERVAL = 24
+RECOVER_ROUNDS = 3
+
+
+def forest_edges():
+    edges = []
+    for index in range(TREES):
+        offset = index * 10_000
+        edges.extend(
+            (offset + parent, offset + child)
+            for parent, child in uniform_tree(2, TREE_DEPTH)
+        )
+    return edges[:WRITES]
+
+
+def grow_forest(directory, snapshot_interval: int):
+    """Insert the forest edge-by-edge; one WAL record per effective insert."""
+    service = DatalogService.open(
+        directory,
+        transitive_closure(),
+        storage_config=StorageConfig(fsync=False, snapshot_interval=snapshot_interval),
+        flush_policy=FlushPolicy(max_batch=1, max_delay_seconds=0.0),
+    )
+    for edge in forest_edges():
+        service.insert("edge", edge, wait=True)
+    answers = service.query("t(0, Y)?").answers
+    stats = service.storage_stats.as_dict()
+    epoch = service.epoch
+    service.close()
+    return epoch, answers, stats
+
+
+def timed_recover(directory):
+    """``(best seconds over RECOVER_ROUNDS, last RecoveredState)``."""
+    best = float("inf")
+    recovered = None
+    for _ in range(RECOVER_ROUNDS):
+        store = DurableStore(directory, StorageConfig(fsync=False))
+        started = time.perf_counter()
+        recovered = store.recover()
+        best = min(best, time.perf_counter() - started)
+        store.close()
+    return best, recovered
+
+
+def edb_rows(database):
+    return {
+        relation.name: frozenset(relation.rows())
+        for relation in database.relations()
+    }
+
+
+def test_e18_recovery_from_compacted_store_beats_full_wal_replay(benchmark, tmp_path):
+    full_dir = tmp_path / "full"
+    compacted_dir = tmp_path / "compacted"
+
+    # the same write history, once with compaction effectively disabled
+    # (genesis snapshot + the whole WAL) and once compacting every
+    # COMPACT_INTERVAL records
+    full_epoch, full_answers, full_stats = grow_forest(full_dir, 10_000)
+    compact_epoch, compact_answers, compact_stats = grow_forest(
+        compacted_dir, COMPACT_INTERVAL
+    )
+
+    raw_row_bytes = full_stats["rows_logged"] * 2 * 8
+    amplification = full_stats["bytes_appended"] / raw_row_bytes
+
+    full_seconds, full_state = timed_recover(full_dir)
+    compacted_seconds, compacted_state = timed_recover(compacted_dir)
+
+    # the benchmark record times the path a restarting service actually takes
+    run_once(benchmark, lambda: timed_recover(compacted_dir))
+
+    states_identical = (
+        full_state.epoch == compacted_state.epoch == full_epoch == compact_epoch
+        and edb_rows(full_state.database) == edb_rows(compacted_state.database)
+        and full_answers == compact_answers
+    )
+
+    # a reopened service must serve the same answers the live one did
+    reopened = DatalogService.open(
+        compacted_dir, storage_config=StorageConfig(fsync=False)
+    )
+    serves_identical = reopened.query("t(0, Y)?").answers == full_answers
+    reopened.close()
+
+    emit(
+        "E18 — durability: write amplification and recovery",
+        ["store", "records", "replayed", "bytes", "recover (s)"],
+        [
+            [
+                "full WAL",
+                full_stats["records_appended"],
+                full_state.records_replayed,
+                full_stats["bytes_appended"],
+                f"{full_seconds:.4f}",
+            ],
+            [
+                "compacted",
+                compact_stats["records_appended"],
+                compacted_state.records_replayed,
+                compact_stats["bytes_appended"],
+                f"{compacted_seconds:.4f}",
+            ],
+        ],
+    )
+    attach(
+        benchmark,
+        writes=WRITES,
+        epoch=full_epoch,
+        write_amplification=round(amplification, 3),
+        full_recover_seconds=full_seconds,
+        compacted_recover_seconds=compacted_seconds,
+        full_records_replayed=full_state.records_replayed,
+        compacted_records_replayed=compacted_state.records_replayed,
+        compactions=compact_stats["compactions"],
+        wal_segments_compacted=len(segment_files(compacted_dir)),
+        states_identical=bool(states_identical and serves_identical),
+    )
+
+    assert states_identical, "full-WAL and compacted recovery diverged"
+    assert serves_identical, "the reopened service served different answers"
+    # the full-WAL store replayed every record; the compacted one only a tail
+    assert full_state.records_replayed == WRITES
+    assert compacted_state.records_replayed < COMPACT_INTERVAL
+    assert compact_stats["compactions"] >= WRITES // COMPACT_INTERVAL - 1
+    assert compacted_seconds < full_seconds, (
+        f"compacted recovery ({compacted_seconds:.4f}s) must beat full WAL "
+        f"replay ({full_seconds:.4f}s)"
+    )

@@ -78,22 +78,27 @@ from .incremental import MaterializedView, Session, ViewProvenance, ViewRegistry
 from .service import (
     DatalogService,
     EpochCache,
+    FlushError,
     FlushPolicy,
+    ServiceClosed,
     ServiceResult,
     ServiceSnapshot,
     ServiceStats,
 )
+from .storage import DurableStore, StorageConfig, StorageError, StorageStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Atom",
     "Constant",
     "Database",
     "DatalogService",
+    "DurableStore",
     "EpochCache",
     "EvaluationError",
     "EvaluationStats",
+    "FlushError",
     "FlushPolicy",
     "MaterializedView",
     "NotOneSidedError",
@@ -109,10 +114,14 @@ __all__ = [
     "Rule",
     "SchemaError",
     "SelectionQuery",
+    "ServiceClosed",
     "ServiceResult",
     "ServiceSnapshot",
     "ServiceStats",
     "Session",
+    "StorageConfig",
+    "StorageError",
+    "StorageStats",
     "UnfoldedDefinition",
     "Variable",
     "ViewProvenance",

@@ -31,7 +31,8 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+import struct
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .errors import SchemaError
 
@@ -315,6 +316,53 @@ class Relation:
     def column_values(self, column: int) -> Set[Value]:
         """The distinct values appearing in ``column``."""
         return {row[column] for row in self._rows}
+
+    # ------------------------------------------------------------------
+    # serialization (the durable storage layer's row codec)
+    # ------------------------------------------------------------------
+    def packed_rows(self, intern: Callable[[Value], int]) -> Tuple[int, bytes]:
+        """``(row_count, packed)`` — the row set as struct-packed int codes.
+
+        Every value is mapped through ``intern`` (a domain dictionary's
+        encoder) and the resulting int rows are written as little-endian
+        ``int64``s, ``arity`` per row, in sorted code order — so the bytes
+        for a given (relation, dictionary) pair are deterministic, which
+        makes snapshots diffable and the differential harness's
+        byte-identity checks meaningful.  Works on frozen handles: reading
+        rows never mutates.
+        """
+        coded = sorted(tuple(intern(value) for value in row) for row in self._rows)
+        flat = [code for row in coded for code in row]
+        return len(coded), struct.pack(f"<{len(flat)}q", *flat)
+
+    @classmethod
+    def from_packed_rows(
+        cls,
+        name: str,
+        arity: int,
+        count: int,
+        packed: bytes,
+        decode: Callable[[int], Value],
+    ) -> "Relation":
+        """Rebuild a relation from :meth:`packed_rows` output.
+
+        ``decode`` maps codes back to stored values (the domain dictionary's
+        decoder).  The zero-arity cases carry no bytes at all, so the row
+        count disambiguates ``{}`` from ``{()}``.
+        """
+        if arity == 0:
+            return cls.from_valid_rows(name, 0, {()} if count else set())
+        expected = count * arity * 8
+        if len(packed) != expected:
+            raise SchemaError(
+                f"relation {name}: packed rows have {len(packed)} bytes, expected {expected}"
+            )
+        codes = struct.unpack(f"<{count * arity}q", packed)
+        rows = {
+            tuple(decode(code) for code in codes[start:start + arity])
+            for start in range(0, len(codes), arity)
+        }
+        return cls.from_valid_rows(name, arity, rows)
 
     # ------------------------------------------------------------------
     # indexed lookup

@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import weakref
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..datalog.relation import Relation, Row, Value
 from .compile import AtomStep, CompiledRule
@@ -129,6 +129,36 @@ class Domain:
             relation.arity,
             {tuple(map(getter, row)) for row in relation.rows()},
         )
+
+    # ------------------------------------------------------------------
+    # persistence (the durable storage layer's dictionary hooks)
+    # ------------------------------------------------------------------
+    def export_values(self, start: int = 0) -> List[Value]:
+        """The interned values with codes ``>= start``, in code order.
+
+        The storage layer persists the dictionary incrementally: a WAL
+        record carries exactly the values its batch interned (``start`` =
+        the dictionary size before encoding the batch), and a snapshot
+        carries the whole dictionary (``start = 0``).
+        """
+        return self._values[start:]
+
+    def extend_values(self, values: Iterable[Value]) -> None:
+        """Re-register persisted values in code order (the recovery path).
+
+        Each value receives the next dense code, exactly as the original
+        :meth:`intern` calls did; a value that is already interned would
+        shift every later code, so it raises :class:`ValueError` — recovery
+        treats that as a corrupt dictionary, not a soft condition.
+        """
+        for value in values:
+            code = len(self._values)
+            existing = self._codes.setdefault(value, code)
+            if existing != code:
+                raise ValueError(
+                    f"domain value {value!r} is already interned at code {existing}"
+                )
+            self._values.append(value)
 
     # ------------------------------------------------------------------
     # inspection

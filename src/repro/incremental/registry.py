@@ -107,6 +107,19 @@ class ViewRegistry(DatabaseListener):
     # ------------------------------------------------------------------
     # epochs
     # ------------------------------------------------------------------
+    def restore_epoch(self, epoch: int) -> None:
+        """Re-anchor the epoch counter (the crash-recovery path).
+
+        A recovered service rebuilds its views by replaying the persisted EDB
+        through ordinary mutations, which advances this counter arbitrarily;
+        re-anchoring to the durable epoch keeps post-recovery snapshots and
+        cache keys continuous with the pre-crash history.  Only valid between
+        maintenance rounds (the caller holds no pending ticket).
+        """
+        with self.lock:
+            self.epoch = epoch
+            self._touched_since_collect = set()
+
     def collect_touched(self) -> Tuple[int, Set[str]]:
         """The current epoch plus every predicate touched since the last collect.
 

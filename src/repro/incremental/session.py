@@ -51,14 +51,39 @@ def as_rows(rows: RowsLike) -> list:
     tuples.  A flat tuple or list of scalars is one *row* (``[1, 2]`` and
     ``(1, 2)`` both mean the single pair), so multiple single-column rows
     must be spelled ``[(1,), (2,)]``.
+
+    Mixing rows and scalars (``[(1, 2), 3]``) is ambiguous — is ``3`` a row
+    or a stray value? — and raises :class:`ValueError` naming the offending
+    element, instead of the bare ``TypeError`` that ``tuple(3)`` used to
+    surface from deep inside the flusher.
     """
     if isinstance(rows, str):
         return [(rows,)]
     if isinstance(rows, (tuple, list)):
         if rows and all(not isinstance(value, (tuple, list)) for value in rows):
             return [tuple(rows)]
-        return [tuple(row) for row in rows]
-    return [tuple(row) if isinstance(row, (tuple, list)) else (row,) for row in rows]
+        return _rows_of(list(rows), scalars_are_rows=False)
+    # other iterables (generators, sets): each element is one row; bare
+    # scalar elements are single-column rows, as long as nothing is mixed
+    return _rows_of(list(rows), scalars_are_rows=True)
+
+
+def _rows_of(rows: list, *, scalars_are_rows: bool) -> list:
+    """Each element as one row; mixing rows with scalars is an error."""
+    has_row = any(isinstance(row, (tuple, list)) for row in rows)
+    out = []
+    for index, row in enumerate(rows):
+        if isinstance(row, (tuple, list)):
+            out.append(tuple(row))
+        elif scalars_are_rows and not has_row:
+            out.append((row,))
+        else:
+            raise ValueError(
+                f"rows must all be tuples/lists, but element {index} is "
+                f"{row!r}; pass a flat sequence of scalars for a single row, "
+                f"or wrap each row (e.g. ({row!r},)) for multiple rows"
+            )
+    return out
 
 
 class Session:
@@ -175,6 +200,7 @@ class Session:
             if not self.database.has_relation(name):
                 return set()
             return set(self.database.relation(name).rows())
+
     @property
     def maintenance_stats(self) -> EvaluationStats:
         """Cumulative maintenance work of the session's view."""

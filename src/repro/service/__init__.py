@@ -13,11 +13,23 @@ package serves them to *many clients at once*:
 * :class:`EpochCache` — query results memoized per epoch, invalidated by
   exactly the predicates each maintenance round touched;
 * :class:`DatalogService` — the front door: ``submit``/``query``,
-  ``insert``/``delete``, ``barrier``, with pinned :class:`ServiceStats`.
+  ``insert``/``delete``, ``barrier``, with pinned :class:`ServiceStats`;
+* durability (optional) — construct with ``storage=`` or use
+  :meth:`DatalogService.open`: every flushed batch is WAL-logged (fsynced
+  before its tickets resolve), snapshots compact the log, and recovery
+  replays "latest snapshot + WAL tail" back into a live service.
 """
 
 from .cache import EpochCache
-from .queue import CoalescedWrite, FlushPolicy, WriteQueue, WriteTicket, coalesce
+from .queue import (
+    CoalescedWrite,
+    FlushError,
+    FlushPolicy,
+    ServiceClosed,
+    WriteQueue,
+    WriteTicket,
+    coalesce,
+)
 from .service import DatalogService, ServiceResult, ServiceStats
 from .snapshot import ServiceSnapshot, take_snapshot
 
@@ -25,7 +37,9 @@ __all__ = [
     "CoalescedWrite",
     "DatalogService",
     "EpochCache",
+    "FlushError",
     "FlushPolicy",
+    "ServiceClosed",
     "ServiceResult",
     "ServiceSnapshot",
     "ServiceStats",

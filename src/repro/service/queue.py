@@ -37,6 +37,32 @@ from typing import Dict, List, Optional, Tuple
 from ..datalog.relation import Row
 
 
+class ServiceClosed(RuntimeError):
+    """The service (or its write queue) is closed; the operation was refused.
+
+    Subclasses :class:`RuntimeError` so callers that guarded against the old
+    bare ``RuntimeError("service is closed")`` keep working.  Also used to
+    *fail* tickets that were still pending when the service shut down — a
+    waiter must never block forever on a write no flusher will ever apply.
+    """
+
+
+class FlushError(RuntimeError):
+    """A flush failed; raised in each waiting client thread individually.
+
+    One flusher-side exception can have many waiters.  Re-raising the single
+    shared exception object from every ``wait`` call makes concurrent
+    waiters race over its ``__traceback__`` (each ``raise`` mutates it), so
+    every waiter gets its *own* :class:`FlushError` instead, chained to the
+    flusher's exception via ``__cause__``.  The message carries the cause's
+    text so existing ``except``-and-match callers keep working.
+    """
+
+    def __init__(self, ticket: "WriteTicket", cause: BaseException) -> None:
+        super().__init__(f"flush of {ticket} failed: {cause}")
+        self.ticket = ticket
+
+
 @dataclass(frozen=True)
 class FlushPolicy:
     """When the flusher should stop waiting for more writes to coalesce.
@@ -97,11 +123,17 @@ class WriteTicket:
         self._done.set()
 
     def wait(self, timeout: Optional[float] = None) -> int:
-        """Block until applied; returns the epoch that includes this write."""
+        """Block until applied; returns the epoch that includes this write.
+
+        A flush failure raises a fresh :class:`FlushError` *per waiter*
+        (chained to the flusher's exception) — many threads can wait on one
+        ticket, and re-raising one shared exception object would make them
+        race over its traceback.
+        """
         if not self._done.wait(timeout):
             raise TimeoutError(f"write {self} not applied within {timeout}s")
         if self.error is not None:
-            raise self.error
+            raise FlushError(self, self.error) from self.error
         assert self.epoch is not None
         return self.epoch
 
@@ -160,7 +192,7 @@ class WriteQueue:
         """Enqueue a ticket; wakes the flusher when a trigger is reached."""
         with self._cond:
             if self._closed:
-                raise RuntimeError("write queue is closed")
+                raise ServiceClosed("write queue is closed")
             ticket.enqueued_at = time.monotonic()
             self._pending.append(ticket)
             self._cond.notify_all()
@@ -171,6 +203,20 @@ class WriteQueue:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def fail_pending(self, error: BaseException) -> int:
+        """Resolve every still-pending ticket with ``error``; returns the count.
+
+        The shutdown escape hatch: when the flusher cannot (or will not)
+        drain the queue — a stuck flush, a dead store — the tickets must not
+        leave their waiters blocked forever.
+        """
+        with self._cond:
+            pending = self._pending
+            self._pending = []
+        for ticket in pending:
+            ticket.resolve(error=error)
+        return len(pending)
 
     # ------------------------------------------------------------------
     # flusher side

@@ -30,7 +30,8 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Set, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError
@@ -39,8 +40,9 @@ from ..datalog.rules import Program
 from ..engine.instrumentation import EvaluationStats
 from ..engine.query import QueryResult, SelectionQuery, answer, as_selection_query
 from ..incremental.session import RowsLike, Session, as_rows
+from ..storage import DurableStore, StorageConfig, StorageError
 from .cache import EpochCache
-from .queue import FlushPolicy, WriteQueue, WriteTicket, coalesce
+from .queue import FlushPolicy, ServiceClosed, WriteQueue, WriteTicket, coalesce
 from .snapshot import ServiceSnapshot, take_snapshot
 
 
@@ -138,7 +140,7 @@ class DatalogService:
 
     def __init__(
         self,
-        program: Union[Program, str],
+        program: Optional[Union[Program, str]] = None,
         database: Optional[Database] = None,
         *,
         readers: int = 4,
@@ -146,7 +148,27 @@ class DatalogService:
         cache_entries: int = 1024,
         name: str = "default",
         max_unfold_depth: int = 8,
+        storage: Optional[Union[DurableStore, str, Path]] = None,
+        storage_config: Optional[StorageConfig] = None,
     ) -> None:
+        store: Optional[DurableStore] = None
+        recovered = None
+        if storage is not None:
+            store = (
+                storage
+                if isinstance(storage, DurableStore)
+                else DurableStore(storage, storage_config)
+            )
+            if database is None and store.has_state():
+                recovered = store.recover()
+                database = recovered.database
+                if program is None:
+                    program = recovered.program_text
+        if program is None:
+            raise ValueError(
+                "DatalogService needs a program (none given and the storage "
+                "directory holds no recoverable state)"
+            )
         self.session = Session(
             program, database, name=name, max_unfold_depth=max_unfold_depth
         )
@@ -154,6 +176,20 @@ class DatalogService:
         self.cache = EpochCache(cache_entries)
         self._stats = ServiceStats()
         self._stats_lock = threading.Lock()
+        self.storage = store
+        self._storage_failed: Optional[BaseException] = None
+        if recovered is not None:
+            # rebuilding views from the recovered EDB advanced the registry
+            # arbitrarily; re-anchor so published epochs continue the durable
+            # history exactly where the WAL left it
+            self.session.registry.restore_epoch(recovered.epoch)
+        if store is not None:
+            store.attach(
+                str(self.session.program),
+                self.session.database,
+                self.session.registry.epoch,
+                replayed_records=recovered.records_replayed if recovered else 0,
+            )
         self._snapshot = take_snapshot(self.session)
         self.cache.advance(self._snapshot.epoch, set())
         self._closed = False
@@ -165,17 +201,53 @@ class DatalogService:
         )
         self._flusher.start()
 
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        program: Optional[Union[Program, str]] = None,
+        *,
+        storage_config: Optional[StorageConfig] = None,
+        **kwargs,
+    ) -> "DatalogService":
+        """A durable service over ``path``: recover it, or initialize it fresh.
+
+        An existing store needs no ``program`` — the snapshot carries the
+        program text; recovery loads the latest snapshot, replays the WAL,
+        and rebuilds the views from the recovered EDB.  A fresh directory
+        requires ``program`` and writes its genesis snapshot immediately.
+        """
+        return cls(program, storage=path, storage_config=storage_config, **kwargs)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Drain pending writes, stop the flusher and shut the reader pool."""
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain pending writes, stop the flusher and shut the reader pool.
+
+        A flusher that fails to exit within ``timeout`` is *surfaced*, not
+        silently abandoned: every ticket still pending on the queue is
+        resolved with :class:`ServiceClosed` (no waiter blocks forever on a
+        write no flusher will apply) and this method raises
+        :class:`ServiceClosed` after shutting the reader pool down.
+        """
         if self._closed:
             return
         self._closed = True
         self.queue.close()
-        self._flusher.join(timeout=30)
+        self._flusher.join(timeout=timeout)
+        if self._flusher.is_alive():
+            abandoned = self.queue.fail_pending(
+                ServiceClosed("service closed while its flusher was stuck")
+            )
+            self._readers.shutdown(wait=True)
+            raise ServiceClosed(
+                f"flusher did not exit within {timeout}s; "
+                f"{abandoned} pending ticket(s) were failed"
+            )
         self._readers.shutdown(wait=True)
+        if self.storage is not None:
+            self.storage.close()
 
     def __enter__(self) -> "DatalogService":
         return self
@@ -211,7 +283,7 @@ class DatalogService:
 
     def _enqueue(self, ticket: WriteTicket, wait: bool, timeout: Optional[float]) -> WriteTicket:
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosed("service is closed")
         self.queue.put(ticket)
         with self._stats_lock:
             self._stats.writes_enqueued += 1
@@ -224,11 +296,15 @@ class DatalogService:
     # ------------------------------------------------------------------
     def query(self, query: Union[SelectionQuery, str]) -> ServiceResult:
         """Answer in the calling thread against the current published epoch."""
+        if self._closed:
+            raise ServiceClosed("service is closed")
         selection = as_selection_query(self.session.program, query)
         return self._answer(self._snapshot, selection)
 
     def submit(self, query: Union[SelectionQuery, str]) -> "Future[ServiceResult]":
         """Dispatch to the reader pool; the epoch is pinned at submission time."""
+        if self._closed:
+            raise ServiceClosed("service is closed")
         selection = as_selection_query(self.session.program, query)
         snapshot = self._snapshot
         return self._readers.submit(self._answer, snapshot, selection)
@@ -247,6 +323,20 @@ class DatalogService:
         """A point-in-time copy of the service counters."""
         with self._stats_lock:
             return replace(self._stats)
+
+    @property
+    def storage_stats(self):
+        """The durable store's counters, or ``None`` for an in-memory service.
+
+        Kept off :class:`ServiceStats` (whose fields are pinned by tests) —
+        durability is an optional layer with its own counter set.
+        """
+        return self.storage.stats if self.storage is not None else None
+
+    @property
+    def storage_failed(self) -> Optional[BaseException]:
+        """The exception that killed the durable store, if any (reads still work)."""
+        return self._storage_failed
 
     # ------------------------------------------------------------------
     # internals: answering
@@ -314,26 +404,59 @@ class DatalogService:
     def _apply(self, batch) -> None:
         """Apply one drained batch as a single coalesced maintenance round.
 
-        On failure every ticket in the batch carries the exception; groups
-        applied before the failing one stay applied (they are consistent —
-        just unpublished until the next successful flush).
+        Durability order: the batch is applied in memory, **logged to the WAL
+        (and fsynced)**, and only then published and acknowledged — a resolved
+        ticket implies the write is on disk.  A group that fails mid-batch
+        (e.g. an arity error) fails every ticket, but the ops applied before
+        it stay applied *and get logged* — they are consistent, unpublished
+        until the next successful flush, and the log must cover them or a
+        crash would silently lose state a later flush will publish.  A
+        storage failure poisons the service's write path (`_storage_failed`):
+        further flushes are refused outright, because publishing epochs the
+        disk never saw would break the recovery contract; reads keep serving
+        the last published epoch.
         """
         writes = [ticket for ticket in batch if not ticket.is_barrier]
         registry = self.session.registry
         try:
+            if self._storage_failed is not None:
+                raise StorageError(
+                    "durable storage failed; the service refuses further writes: "
+                    f"{self._storage_failed}"
+                ) from self._storage_failed
+            applied: List[Tuple[str, str, Tuple[Row, ...]]] = []
+            failure: Optional[BaseException] = None
             with registry.lock:
                 epoch_before = registry.epoch
-                for group in coalesce(writes):
-                    if group.deletes:
-                        self.session.delete(group.relation, group.deletes)
-                    if group.inserts:
-                        self.session.insert(group.relation, group.inserts)
+                try:
+                    for group in coalesce(writes):
+                        if group.deletes:
+                            at = registry.epoch
+                            self.session.delete(group.relation, group.deletes)
+                            if registry.epoch != at:
+                                applied.append(
+                                    ("delete", group.relation, tuple(group.deletes))
+                                )
+                        if group.inserts:
+                            at = registry.epoch
+                            self.session.insert(group.relation, group.inserts)
+                            if registry.epoch != at:
+                                applied.append(
+                                    ("insert", group.relation, tuple(group.inserts))
+                                )
+                except BaseException as exc:  # noqa: BLE001 - failure still logs the applied prefix
+                    failure = exc
                 epoch = registry.epoch
                 rounds = epoch - epoch_before
+                if rounds and self.storage is not None:
+                    self._log_applied(epoch, applied)
                 published = None
-                if epoch != self._snapshot.epoch:
+                touched: Set[str] = set()
+                if failure is None and epoch != self._snapshot.epoch:
                     _collected, touched = registry.collect_touched()
                     published = take_snapshot(self.session)
+            if failure is not None:
+                raise failure
             if published is not None:
                 # cache first, snapshot second: a reader racing the publication
                 # either misses (old entries were dropped) or still reads the
@@ -347,11 +470,38 @@ class DatalogService:
                     self._stats.maintenance_rounds += rounds
                 if published is not None:
                     self._stats.epochs_published += 1
+            self._maybe_compact(epoch)
             for ticket in batch:
                 ticket.resolve(epoch=epoch)
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiting clients
             for ticket in batch:
                 ticket.resolve(error=exc)
+
+    def _log_applied(
+        self, epoch: int, applied: List[Tuple[str, str, Tuple[Row, ...]]]
+    ) -> None:
+        """Durably log the ops this round applied; a failure poisons writes."""
+        try:
+            self.storage.log_batch(epoch, applied)
+        except BaseException as exc:  # noqa: BLE001 - storage death is terminal for writes
+            self._storage_failed = exc
+            raise
+
+    def _maybe_compact(self, epoch: int) -> None:
+        """Snapshot + WAL reset once the log backlog reaches the interval.
+
+        Runs after publication, so a compaction failure cannot fail the batch
+        whose writes are already durable and visible — it only poisons
+        *future* writes (the store is dead; nothing further can be logged).
+        """
+        store = self.storage
+        if store is None or not store.should_compact():
+            return
+        try:
+            with self.session.registry.lock:
+                store.compact(epoch, self.session.database.relations())
+        except BaseException as exc:  # noqa: BLE001 - see docstring
+            self._storage_failed = exc
 
     def __str__(self) -> str:
         return f"DatalogService(epoch={self.epoch}, {self.session.view!s})"

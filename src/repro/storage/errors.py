@@ -1,0 +1,31 @@
+"""Exceptions of the durable storage layer.
+
+All of them derive from :class:`~repro.datalog.errors.ReproError` so embedding
+applications keep their single catch-all, and from a storage-specific base so
+the serving layer can tell "the disk failed" apart from "the write was bad"
+(an arity error fails one batch; a storage error poisons the service's write
+path until a recovery reopens the store).
+"""
+
+from __future__ import annotations
+
+from ..datalog.errors import ReproError
+
+
+class StorageError(ReproError):
+    """Raised when the durable store cannot read or write its on-disk state."""
+
+
+class CorruptSnapshotError(StorageError):
+    """Raised when no snapshot file in the store directory passes its checksum."""
+
+
+class SimulatedCrash(StorageError):
+    """Raised by the store's crash-injection hooks (testing only).
+
+    The crash/restore differential family plants these at seeded append
+    ordinals to model a process kill *between* the WAL append and the
+    snapshot publication (or just before the append).  A store that raised
+    one refuses all further operations, exactly like a dead disk — the only
+    way forward is :meth:`repro.service.DatalogService.open` on the path.
+    """

@@ -1,0 +1,153 @@
+"""Compacted snapshots: one file holding a whole epoch's frozen EDB.
+
+A snapshot file ``snapshot-<epoch>.snap`` contains everything recovery needs
+to restart without the WAL prefix it covers: the epoch, the program text
+(so :meth:`repro.service.DatalogService.open` needs no arguments beyond the
+path), the **full** domain dictionary, and every stored EDB relation as
+struct-packed int rows.  Only the EDB is persisted — materialized views are
+a pure function of it and are rebuilt by the recovery ``Session``.
+
+Writes follow the fsync-before-atomic-rename discipline proven in the
+benchmark harness (``benchmarks/helpers.py``): the payload goes to a scratch
+file, is fsynced, and lands under its final name via ``os.replace``; the
+directory is fsynced after the rename and again after older snapshots are
+unlinked.  A crash at any point leaves either the old snapshot or the new
+one — never a half-written file under the live name — and the loader skips
+files that fail their checksum, falling back to the newest intact snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..datalog.relation import Value
+from .errors import CorruptSnapshotError, StorageError
+from .format import FORMAT_VERSION, MAGIC, Reader, Writer, frame, split_frames
+
+_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{16})\.snap$")
+
+#: ``(name, arity, row_count, packed_codes)`` — one serialized relation
+RelationPayload = Tuple[str, int, int, bytes]
+
+
+@dataclass(frozen=True)
+class SnapshotData:
+    """One parsed snapshot file."""
+
+    epoch: int
+    program_text: str
+    values: List[Value]
+    relations: List[RelationPayload]
+
+
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def snapshot_files(directory: Path) -> List[Path]:
+    """Snapshot files under ``directory``, oldest first."""
+    return sorted(
+        path for path in directory.iterdir() if _SNAPSHOT_PATTERN.match(path.name)
+    )
+
+
+def write_snapshot(
+    directory: Path,
+    *,
+    epoch: int,
+    program_text: str,
+    values: Sequence[Value],
+    relations: Sequence[RelationPayload],
+    fsync: bool = True,
+) -> Path:
+    """Atomically publish a snapshot file; returns its path.
+
+    Older snapshot files are removed only after the new one is durable, so
+    every instant has at least one intact snapshot on disk.
+    """
+    writer = Writer()
+    writer.blob(MAGIC)
+    writer.u8(FORMAT_VERSION)
+    writer.i64(epoch)
+    writer.text(program_text)
+    writer.values(values)
+    writer.u32(len(relations))
+    for name, arity, count, packed in relations:
+        writer.text(name)
+        writer.u32(arity)
+        writer.rows(arity, count, packed)
+
+    path = directory / f"snapshot-{epoch:016d}.snap"
+    scratch = directory / f"snapshot-{epoch:016d}.tmp{os.getpid()}"
+    older = [existing for existing in snapshot_files(directory) if existing != path]
+    try:
+        with open(scratch, "wb") as handle:
+            handle.write(frame(writer.getvalue()))
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(scratch, path)
+        if fsync:
+            _fsync_directory(directory)
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
+    for existing in older:
+        existing.unlink(missing_ok=True)
+    if older and fsync:
+        _fsync_directory(directory)
+    return path
+
+
+def _parse(data: bytes, path: Path) -> SnapshotData:
+    payloads, _clean = split_frames(data)
+    if len(payloads) != 1:
+        raise CorruptSnapshotError(f"snapshot {path.name} failed its checksum")
+    reader = Reader(payloads[0])
+    if reader.blob() != MAGIC:
+        raise StorageError(f"snapshot {path.name} has the wrong magic")
+    version = reader.u8()
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"snapshot {path.name} has format version {version}, expected {FORMAT_VERSION}"
+        )
+    epoch = reader.i64()
+    program_text = reader.text()
+    values = reader.values()
+    relations: List[RelationPayload] = []
+    for _ in range(reader.u32()):
+        name = reader.text()
+        arity = reader.u32()
+        count, packed = reader.rows(arity)
+        relations.append((name, arity, count, packed))
+    return SnapshotData(epoch, program_text, values, relations)
+
+
+def load_latest_snapshot(directory: Path) -> Optional[SnapshotData]:
+    """The newest intact snapshot, or ``None`` when the directory has none.
+
+    Files that fail their checksum are skipped in favor of older intact ones
+    (a crash can only tear the file being *written*, and the writer keeps the
+    previous snapshot until the new one is durable); if snapshot files exist
+    but none parses, recovery must not silently restart empty — that raises
+    :class:`CorruptSnapshotError`.
+    """
+    files = snapshot_files(directory)
+    if not files:
+        return None
+    for path in reversed(files):
+        try:
+            return _parse(path.read_bytes(), path)
+        except CorruptSnapshotError:
+            continue
+    raise CorruptSnapshotError(
+        f"no snapshot under {directory} passes its checksum ({len(files)} file(s) tried)"
+    )

@@ -1,0 +1,403 @@
+"""``DurableStore`` — snapshot + WAL orchestration for one service directory.
+
+One store owns one directory and gives the serving layer three verbs:
+
+* :meth:`DurableStore.recover` — load the newest intact snapshot, replay the
+  WAL records past its epoch, and hand back the reconstructed EDB + epoch +
+  program text ("load latest snapshot, replay WAL; views are rebuilt from
+  the recovered EDB");
+* :meth:`DurableStore.log_batch` — durably append one coalesced flush batch
+  (the ops actually applied, as interned int rows plus the dictionary
+  entries the batch introduced) *before* the service publishes the epoch or
+  resolves any ticket;
+* :meth:`DurableStore.compact` — write a covering snapshot and reset the WAL,
+  bounding both disk usage and recovery time.
+
+Replay is **idempotent** by construction: a batch's net-effect delete and
+insert sets fix each touched row's presence regardless of the starting
+state, and dictionary entries carry their absolute first code, so replaying
+any durable prefix again (or replaying records a newer snapshot already
+covers) changes nothing.  The epoch guard in :meth:`replay_into` skips
+records a snapshot already covers; the crash-injection hooks
+(``crash_before_append`` / ``crash_after_append``) let the differential
+harness kill the store at seeded append ordinals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from ..datalog.relation import Relation, Row
+from ..engine.domain import Domain
+from .errors import SimulatedCrash, StorageError
+from .format import OP_DELETE, OP_INSERT, RECORD_BATCH, Reader, Writer
+from .snapshot import load_latest_snapshot, write_snapshot
+from .wal import WriteAheadLog, segment_files
+
+#: one applied operation: ``(op, relation name, rows)`` with op in
+#: ``("delete", "insert")`` — the order-preserving unit ``log_batch`` records
+AppliedOp = Tuple[str, str, Sequence[Row]]
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Durability knobs.
+
+    ``fsync`` turns the fsync-before-acknowledge discipline on (tests and
+    benchmarks that only simulate crashes of the *process* may turn it off —
+    buffered writes still reach the file before any reopen).
+    ``snapshot_interval`` is how many WAL records may accumulate before the
+    next flush triggers a compaction.
+    """
+
+    fsync: bool = True
+    snapshot_interval: int = 64
+
+    def __post_init__(self) -> None:
+        if self.snapshot_interval < 1:
+            raise ValueError("StorageConfig.snapshot_interval must be at least 1")
+
+
+@dataclass
+class StorageStats:
+    """Pinned storage counters, in the ``ServiceStats`` mold."""
+
+    #: WAL records durably appended (one per logged flush batch)
+    records_appended: int = 0
+    #: framed bytes those appends wrote
+    bytes_appended: int = 0
+    #: rows carried by the appended records (deletes + inserts)
+    rows_logged: int = 0
+    #: snapshot compactions performed
+    compactions: int = 0
+    #: WAL records applied by the last ``recover``/``replay_into``
+    records_replayed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "records_appended": self.records_appended,
+            "bytes_appended": self.bytes_appended,
+            "rows_logged": self.rows_logged,
+            "compactions": self.compactions,
+            "records_replayed": self.records_replayed,
+        }
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`DurableStore.recover` reconstructs."""
+
+    database: Database
+    epoch: int
+    program_text: str
+    snapshot_epoch: int
+    records_replayed: int = 0
+
+
+@dataclass
+class _BatchRecord:
+    """One parsed WAL batch payload."""
+
+    epoch_after: int
+    first_code: int
+    new_values: List[object]
+    ops: List[Tuple[int, str, int, int, bytes]] = field(repr=False)
+
+
+class DurableStore:
+    """Snapshot + WAL persistence for one :class:`DatalogService`."""
+
+    def __init__(self, path, config: Optional[StorageConfig] = None) -> None:
+        self.directory = Path(path)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = config or StorageConfig()
+        #: the persistent dictionary: every value the store ever wrote
+        self.domain = Domain()
+        self.wal = WriteAheadLog(self.directory, fsync=self.config.fsync)
+        self.stats = StorageStats()
+        self._attached = False
+        self._program_text: Optional[str] = None
+        self._records_since_compact = 0
+        self._failure: Optional[BaseException] = None
+        #: crash-injection hooks (testing): 1-based append ordinal to die at
+        self.crash_before_append: Optional[int] = None
+        self.crash_after_append: Optional[int] = None
+        self._append_attempts = 0
+
+    # ------------------------------------------------------------------
+    # state probes
+    # ------------------------------------------------------------------
+    def has_state(self) -> bool:
+        """``True`` when the directory holds a snapshot or WAL segments."""
+        from .snapshot import snapshot_files
+
+        return bool(snapshot_files(self.directory)) or bool(
+            segment_files(self.directory)
+        )
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def _ensure_alive(self) -> None:
+        if self._failure is not None:
+            raise StorageError(
+                f"store {self.directory} is dead after: {self._failure}"
+            ) from self._failure
+
+    def _die(self, exc: BaseException) -> None:
+        self._failure = exc
+        raise exc
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> Optional[RecoveredState]:
+        """Load the newest snapshot and replay the WAL past its epoch.
+
+        Returns ``None`` for a genuinely empty directory (a fresh store).  A
+        WAL without any snapshot is corrupt — the store always writes a
+        genesis snapshot before its first append.
+        """
+        snapshot = load_latest_snapshot(self.directory)
+        if snapshot is None:
+            if segment_files(self.directory):
+                raise StorageError(
+                    f"store {self.directory} has WAL segments but no snapshot"
+                )
+            return None
+        self.domain.extend_values(snapshot.values)
+        decode = self.domain.decode
+        database = Database()
+        for name, arity, count, packed in snapshot.relations:
+            database.add_relation(
+                Relation.from_packed_rows(name, arity, count, packed, decode)
+            )
+        epoch, replayed = self.replay_into(database, snapshot.epoch)
+        self._program_text = snapshot.program_text
+        return RecoveredState(
+            database=database,
+            epoch=epoch,
+            program_text=snapshot.program_text,
+            snapshot_epoch=snapshot.epoch,
+            records_replayed=replayed,
+        )
+
+    def replay_into(self, database: Database, epoch: int) -> Tuple[int, int]:
+        """Apply every WAL record past ``epoch`` to ``database``.
+
+        Returns ``(final epoch, records applied)``.  Records at or below
+        ``epoch`` (left behind by a compaction that crashed before deleting
+        old segments) are skipped; their rows and dictionary entries are
+        already covered by the snapshot.  Public so the differential harness
+        can replay a prefix twice and assert idempotence.
+        """
+        replayed = 0
+        for payload in self.wal.replay():
+            record = self._parse_batch(payload)
+            self._absorb_dictionary(record)
+            if record.epoch_after <= epoch:
+                continue
+            self._apply_record(database, record)
+            epoch = record.epoch_after
+            replayed += 1
+        self.stats.records_replayed = replayed
+        return epoch, replayed
+
+    def _absorb_dictionary(self, record: _BatchRecord) -> None:
+        """Idempotently merge a record's dictionary entries at their codes."""
+        size = len(self.domain)
+        for index, value in enumerate(record.new_values):
+            code = record.first_code + index
+            if code < size:
+                if self.domain.decode(code) != value:
+                    raise StorageError(
+                        f"dictionary mismatch at code {code}: "
+                        f"{self.domain.decode(code)!r} on disk vs {value!r} in record"
+                    )
+            elif code == size:
+                self.domain.extend_values((value,))
+                size += 1
+            else:
+                raise StorageError(
+                    f"dictionary gap: record assigns code {code}, next free is {size}"
+                )
+
+    def _apply_record(self, database: Database, record: _BatchRecord) -> None:
+        decode = self.domain.decode
+        for op, name, arity, count, packed in record.ops:
+            rows = Relation.from_packed_rows(name, arity, count, packed, decode).rows()
+            if op == OP_DELETE:
+                if database.has_relation(name):
+                    database.relation(name).discard_all(rows)
+            else:
+                database.declare(name, arity).add_all(rows)
+
+    @staticmethod
+    def _parse_batch(payload: bytes) -> _BatchRecord:
+        reader = Reader(payload)
+        kind = reader.u8()
+        if kind != RECORD_BATCH:
+            raise StorageError(f"unexpected WAL record kind {kind}")
+        epoch_after = reader.i64()
+        first_code = reader.i64()
+        new_values = reader.values()
+        ops: List[Tuple[int, str, int, int, bytes]] = []
+        for _ in range(reader.u32()):
+            op = reader.u8()
+            name = reader.text()
+            arity = reader.u32()
+            count, packed = reader.rows(arity)
+            ops.append((op, name, arity, count, packed))
+        return _BatchRecord(epoch_after, first_code, new_values, ops)
+
+    # ------------------------------------------------------------------
+    # attach + genesis
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        program_text: str,
+        database: Database,
+        epoch: int,
+        *,
+        replayed_records: int = 0,
+    ) -> None:
+        """Bind the store to a live service and open the log for appends.
+
+        A fresh directory gets a **genesis snapshot** of the initial EDB
+        before the first append — so the program text is durable from the
+        start and a WAL record never exists without a snapshot under it.
+        Appends always go to a brand-new segment (never after a
+        possibly-torn tail).  ``replayed_records`` seeds the compaction
+        counter so a store reopened over a long WAL compacts on an early
+        flush instead of replaying that backlog forever.
+        """
+        if self._attached:
+            raise StorageError(f"store {self.directory} is already attached")
+        self._ensure_alive()
+        self._program_text = program_text
+        if not self.has_state():
+            self._write_snapshot(epoch, database.relations())
+        self.wal.start_segment(epoch)
+        self._records_since_compact = replayed_records
+        self._attached = True
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def log_batch(self, epoch_after: int, ops: Sequence[AppliedOp]) -> None:
+        """Durably append one flush batch; fsynced before this returns.
+
+        ``ops`` are the operations the service actually applied, in
+        application order.  The record carries the dictionary entries this
+        batch interned (with their absolute first code, for idempotent
+        recovery) and each op's rows as packed codes.
+        """
+        if not self._attached:
+            raise StorageError("store is not attached to a service")
+        self._ensure_alive()
+        self._append_attempts += 1
+        ordinal = self._append_attempts
+        if self.crash_before_append == ordinal:
+            self._die(SimulatedCrash(f"simulated crash before WAL append #{ordinal}"))
+        first_code = len(self.domain)
+        intern = self.domain.intern
+        writer = Writer()
+        writer.u8(RECORD_BATCH)
+        writer.i64(epoch_after)
+        writer.i64(first_code)
+        encoded: List[Tuple[int, str, int, int, bytes]] = []
+        rows_logged = 0
+        for op, name, rows in ops:
+            arity = len(rows[0]) if rows else 0
+            count, packed = _pack_rows(rows, arity, intern)
+            encoded.append(
+                (OP_DELETE if op == "delete" else OP_INSERT, name, arity, count, packed)
+            )
+            rows_logged += count
+        writer.values(self.domain.export_values(first_code))
+        writer.u32(len(encoded))
+        for op, name, arity, count, packed in encoded:
+            writer.u8(op)
+            writer.text(name)
+            writer.u32(arity)
+            writer.rows(arity, count, packed)
+        try:
+            written = self.wal.append(writer.getvalue())
+        except BaseException as exc:  # noqa: BLE001 - a failed append kills the store
+            self._die(StorageError(f"WAL append failed: {exc}"))
+        self.stats.records_appended += 1
+        self.stats.bytes_appended += written
+        self.stats.rows_logged += rows_logged
+        self._records_since_compact += 1
+        if self.crash_after_append == ordinal:
+            self._die(SimulatedCrash(f"simulated crash after WAL append #{ordinal}"))
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def should_compact(self) -> bool:
+        """``True`` when the WAL backlog reached the configured interval."""
+        return (
+            self._attached
+            and self._failure is None
+            and self._records_since_compact >= self.config.snapshot_interval
+        )
+
+    def compact(self, epoch: int, relations: Iterable[Relation]) -> Path:
+        """Write a covering snapshot, then reset the WAL to a fresh segment."""
+        if not self._attached:
+            raise StorageError("store is not attached to a service")
+        self._ensure_alive()
+        try:
+            path = self._write_snapshot(epoch, relations)
+            self.wal.reset(epoch)
+        except BaseException as exc:  # noqa: BLE001 - a failed compaction kills the store
+            if isinstance(exc, StorageError):
+                self._die(exc)
+            self._die(StorageError(f"compaction failed: {exc}"))
+        self._records_since_compact = 0
+        self.stats.compactions += 1
+        return path
+
+    def _write_snapshot(self, epoch: int, relations: Iterable[Relation]) -> Path:
+        if self._program_text is None:
+            raise StorageError("store has no program text to snapshot")
+        intern = self.domain.intern
+        payloads = []
+        for relation in relations:
+            count, packed = relation.packed_rows(intern)
+            payloads.append((relation.name, relation.arity, count, packed))
+        return write_snapshot(
+            self.directory,
+            epoch=epoch,
+            program_text=self._program_text,
+            values=self.domain.export_values(0),
+            relations=payloads,
+            fsync=self.config.fsync,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.wal.close()
+        self._attached = False
+
+    def __str__(self) -> str:
+        return (
+            f"DurableStore({self.directory}, {self.stats.records_appended} records, "
+            f"{self.stats.compactions} compactions)"
+        )
+
+
+def _pack_rows(rows: Sequence[Row], arity: int, intern) -> Tuple[int, bytes]:
+    """Pack caller rows (not a Relation) as sorted int-code rows."""
+    import struct
+
+    coded = sorted({tuple(intern(value) for value in row) for row in rows})
+    flat = [code for row in coded for code in row]
+    return len(coded), struct.pack(f"<{len(flat)}q", *flat)

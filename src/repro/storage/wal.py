@@ -1,0 +1,173 @@
+"""The append-only write-ahead log: one record per coalesced flush batch.
+
+The serving layer's :class:`~repro.service.queue.WriteQueue` already produces
+the perfect log unit — one net-effect, epoch-stamped batch per maintenance
+round — so the WAL stores exactly that: a framed record per flushed batch
+(see :mod:`repro.storage.format` for the frame and payload layout).
+
+The log is a sequence of **segment files** ``wal-<epoch>-<seq>.log``: a new
+segment starts whenever a store attaches (never append after a possibly-torn
+tail) and whenever a compaction resets the log.  Segment order is the
+lexicographic filename order — start epochs are monotone across segments and
+the sequence number breaks ties between process lives — and replay walks
+them oldest-first, yielding every intact record payload and stopping cleanly
+at the first torn or corrupt frame.
+
+Durability discipline: an ``append`` writes the frame, flushes Python's
+buffer, and (when the store is configured for durability) fsyncs the file
+*before returning* — the caller only acknowledges client writes after that
+return, which is the "log segment append + fsync before ticket resolve"
+contract.  Segment creation and deletion fsync the directory so the files
+themselves survive a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from .errors import StorageError
+from .format import (
+    FORMAT_VERSION,
+    MAGIC,
+    RECORD_SEGMENT_HEADER,
+    Reader,
+    Writer,
+    frame,
+    split_frames,
+)
+
+_SEGMENT_PATTERN = re.compile(r"^wal-(\d{16})-(\d{6})\.log$")
+
+
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def segment_files(directory: Path) -> List[Path]:
+    """The WAL segment files under ``directory``, in replay order."""
+    return sorted(
+        path for path in directory.iterdir() if _SEGMENT_PATTERN.match(path.name)
+    )
+
+
+def _header_payload(epoch: int) -> bytes:
+    writer = Writer()
+    writer.u8(RECORD_SEGMENT_HEADER)
+    writer.blob(MAGIC)
+    writer.u8(FORMAT_VERSION)
+    writer.i64(epoch)
+    return writer.getvalue()
+
+
+def _check_header(payload: bytes, path: Path) -> None:
+    reader = Reader(payload)
+    kind = reader.u8()
+    if kind != RECORD_SEGMENT_HEADER:
+        raise StorageError(f"segment {path.name} does not start with a header record")
+    if reader.blob() != MAGIC:
+        raise StorageError(f"segment {path.name} has the wrong magic")
+    version = reader.u8()
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"segment {path.name} has format version {version}, expected {FORMAT_VERSION}"
+        )
+
+
+class WriteAheadLog:
+    """Segmented append-only log with fsync-before-acknowledge appends."""
+
+    def __init__(self, directory: Path, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self._handle = None
+        self._active: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _next_sequence(self) -> int:
+        highest = 0
+        for path in segment_files(self.directory):
+            match = _SEGMENT_PATTERN.match(path.name)
+            if match:
+                highest = max(highest, int(match.group(2)))
+        return highest + 1
+
+    def start_segment(self, epoch: int) -> Path:
+        """Open a fresh segment for appends (leaving older segments sealed)."""
+        if self._handle is not None:
+            self._handle.close()
+        name = f"wal-{epoch:016d}-{self._next_sequence():06d}.log"
+        path = self.directory / name
+        self._handle = open(path, "xb")
+        self._active = path
+        self._handle.write(frame(_header_payload(epoch)))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+            _fsync_directory(self.directory)
+        return path
+
+    def append(self, payload: bytes) -> int:
+        """Durably append one framed record; returns the bytes written.
+
+        When the log is configured with ``fsync`` the record is on disk when
+        this returns — the caller may acknowledge the batch.
+        """
+        if self._handle is None:
+            raise StorageError("write-ahead log has no open segment")
+        data = frame(payload)
+        self._handle.write(data)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        return len(data)
+
+    def reset(self, epoch: int) -> None:
+        """Drop every sealed segment and continue in a fresh one.
+
+        Called by compaction *after* the covering snapshot is durable: the
+        records being deleted are all re-derivable from that snapshot.
+        """
+        old = [path for path in segment_files(self.directory) if path != self._active]
+        active = self._active
+        self.start_segment(epoch)
+        if active is not None:
+            old.append(active)
+        for path in old:
+            path.unlink(missing_ok=True)
+        if self.fsync:
+            _fsync_directory(self.directory)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._active = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[bytes]:
+        """Every intact batch payload across all segments, oldest first.
+
+        Stops at the first torn or corrupt frame — including everything in
+        *later* segments, because a record is only meaningful on top of the
+        prefix it was appended after.  Header records are validated and
+        skipped.
+        """
+        for path in segment_files(self.directory):
+            payloads, clean = split_frames(path.read_bytes())
+            if payloads:
+                _check_header(payloads[0], path)
+            for payload in payloads[1:]:
+                yield payload
+            if not clean:
+                return

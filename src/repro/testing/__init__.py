@@ -9,6 +9,13 @@ from .concurrent import (
 )
 from .differential import DifferentialReport, run_batch, run_differential
 from .generate import FAMILIES, DifferentialCase, generate_case, generate_cases
+from .recovery import (
+    CrashCase,
+    CrashReport,
+    generate_crash_case,
+    generate_crash_cases,
+    run_crash_case,
+)
 from .updates import (
     UpdateSequenceCase,
     UpdateSequenceReport,
@@ -23,6 +30,8 @@ __all__ = [
     "FAMILIES",
     "ConcurrentCase",
     "ConcurrentReport",
+    "CrashCase",
+    "CrashReport",
     "DifferentialCase",
     "DifferentialReport",
     "UpdateSequenceCase",
@@ -31,11 +40,14 @@ __all__ = [
     "generate_case",
     "generate_cases",
     "generate_concurrent_case",
+    "generate_crash_case",
+    "generate_crash_cases",
     "generate_update_sequence",
     "generate_update_sequences",
     "run_batch",
     "run_concurrent_batch",
     "run_concurrent_case",
+    "run_crash_case",
     "run_differential",
     "run_update_batch",
     "run_update_sequence",

@@ -1,0 +1,306 @@
+"""Crash/restore differential testing: kill the store, recover, compare.
+
+Extends the update-sequence families (:mod:`repro.testing.updates`) with a
+*durability* dimension: each case drives a scripted mutation stream through a
+:class:`repro.service.DatalogService` backed by a
+:class:`repro.storage.DurableStore`, kills the store at a seeded WAL-append
+ordinal — either **before** the append (the batch is applied in memory but
+never reaches disk) or **after** it (the batch is durable but the crash lands
+between the append and snapshot publication) — and then recovers the
+directory with :meth:`DatalogService.open`.
+
+The recovered service must land on **exactly one of the two adjacent
+epochs**, never a torn in-between: the epoch before the crashed batch for a
+before-append kill, the epoch after it for an after-append kill.  A shadow
+database replays the same script in-process to produce the expected EDB at
+every epoch, and the recovered views are checked tuple-for-tuple against a
+from-scratch semi-naive evaluation over the recovered EDB.
+
+Each case additionally asserts that WAL replay is **idempotent** — replaying
+the full durable record sequence a second time over the recovered database
+changes nothing — and that the story *continues*: the recovered service
+absorbs the remaining script steps, is closed cleanly, and a second recovery
+reproduces the final state exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..datalog.database import Database
+from ..datalog.relation import Row
+from ..engine.seminaive import seminaive_evaluate
+from ..service import DatalogService, FlushPolicy
+from ..storage import DurableStore, StorageConfig
+from .generate import DifferentialCase
+from .updates import UpdateStep, generate_update_sequence
+
+#: EDB state at one epoch: relation name → its exact tuple set
+EdbState = Dict[str, FrozenSet[Row]]
+
+_INTERVALS = (1, 2, 3, 5, 10_000)
+
+
+@dataclass(frozen=True)
+class CrashCase:
+    """One seeded kill/restore schedule over an update script."""
+
+    seed: int
+    base: DifferentialCase
+    #: the *effective* mutation steps (each advances the epoch by one)
+    steps: Tuple[UpdateStep, ...]
+    #: EDB state per epoch; ``expected[k]`` is the state after step ``k``
+    expected: Tuple[EdbState, ...]
+    #: 1-based WAL-append ordinal the store dies at
+    crash_append: int
+    #: ``"before"`` (batch never reaches disk) or ``"after"`` (batch durable,
+    #: crash lands between the append and snapshot publication)
+    crash_kind: str
+    #: WAL records between compactions for this schedule
+    snapshot_interval: int
+
+    @property
+    def name(self) -> str:
+        return (
+            f"recovery/{self.base.family}[seed={self.seed}] "
+            f"crash {self.crash_kind} append#{self.crash_append} "
+            f"interval={self.snapshot_interval}"
+        )
+
+    @property
+    def expected_epoch(self) -> int:
+        """The exact epoch recovery must land on (adjacent to the crash)."""
+        if self.crash_kind == "before":
+            return self.crash_append - 1
+        return self.crash_append
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one kill/restore schedule."""
+
+    case: CrashCase
+    recovered_epoch: int = -1
+    final_epoch: int = -1
+    checks: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} mismatches"
+        return (
+            f"{self.case.name}: recovered@{self.recovered_epoch}, "
+            f"final@{self.final_epoch}, {self.checks} checks: {status}"
+        )
+
+
+def _edb_state(database: Database) -> EdbState:
+    return {
+        relation.name: frozenset(relation.rows())
+        for relation in database.relations()
+    }
+
+
+def generate_crash_case(seed: int) -> CrashCase:
+    """Deterministically derive one kill/restore schedule from ``seed``.
+
+    Reuses the update-sequence generator for the base program and mutation
+    script, filters the script down to its *effective* steps (a duplicate
+    insert fires no maintenance round, so it would never reach the WAL), and
+    draws the crash point uniformly over the WAL appends the script causes.
+    """
+    sequence = generate_update_sequence(seed)
+    rng = random.Random(7_368_787 * seed + 0xC4A54)
+    shadow = sequence.base.database.copy()
+    effective: List[UpdateStep] = []
+    expected: List[EdbState] = [_edb_state(shadow)]
+    for step in sequence.steps:
+        if step.op == "insert":
+            changed = shadow.insert_facts(step.relation, list(step.rows))
+        else:
+            changed = shadow.remove_facts(step.relation, list(step.rows))
+        if changed:
+            effective.append(step)
+            expected.append(_edb_state(shadow))
+    crash_append = rng.randrange(1, len(effective) + 1) if effective else 1
+    return CrashCase(
+        seed=seed,
+        base=sequence.base,
+        steps=tuple(effective),
+        expected=tuple(expected),
+        crash_append=crash_append,
+        crash_kind=rng.choice(("before", "after")),
+        snapshot_interval=rng.choice(_INTERVALS),
+    )
+
+
+def generate_crash_cases(count: int, base_seed: int = 0) -> List[CrashCase]:
+    """``count`` deterministic kill/restore schedules with consecutive seeds."""
+    return [generate_crash_case(base_seed + offset) for offset in range(count)]
+
+
+def _service_over(
+    directory: Path, case: CrashCase, program=None, database=None
+) -> DatalogService:
+    """A durable service where batch ``k`` is exactly effective step ``k``."""
+    return DatalogService.open(
+        directory,
+        program,
+        database=database,
+        storage_config=StorageConfig(
+            fsync=False, snapshot_interval=case.snapshot_interval
+        ),
+        flush_policy=FlushPolicy(max_batch=1, max_delay_seconds=0.0),
+    )
+
+
+def _drive(service: DatalogService, steps) -> None:
+    for step in steps:
+        if step.op == "insert":
+            service.insert(step.relation, list(step.rows), wait=True)
+        else:
+            service.delete(step.relation, list(step.rows), wait=True)
+
+
+def _check_state(
+    service: DatalogService, case: CrashCase, epoch: int, label: str, report: CrashReport
+) -> None:
+    """EDB must match the shadow at ``epoch``; views must match recomputation."""
+    report.checks += 1
+    expected = case.expected[epoch]
+    actual = _edb_state(service.session.database)
+    for name in sorted(set(expected) | set(actual)):
+        want = expected.get(name, frozenset())
+        got = actual.get(name, frozenset())
+        if want != got:
+            missing = sorted(want - got, key=repr)[:5]
+            extra = sorted(got - want, key=repr)[:5]
+            report.mismatches.append(
+                f"{label}: EDB {name}: {len(got)} vs expected {len(want)} tuples "
+                f"(missing sample {missing}, extra sample {extra})"
+            )
+    reference = seminaive_evaluate(case.base.program, service.session.database)
+    views = service.snapshot().views
+    for predicate in sorted(set(reference) | set(views)):
+        want = reference[predicate].rows() if predicate in reference else set()
+        got = views[predicate].rows() if predicate in views else set()
+        if want != got:
+            report.mismatches.append(
+                f"{label}: view {predicate}: {len(got)} vs recomputed {len(want)} tuples"
+            )
+
+
+def _check_replay_idempotent(
+    directory: Path, case: CrashCase, label: str, report: CrashReport
+) -> None:
+    """Recover twice off the same files; the double replay must change nothing."""
+    report.checks += 1
+    probe = DurableStore(directory, StorageConfig(fsync=False))
+    recovered = probe.recover()
+    if recovered is None:
+        report.mismatches.append(f"{label}: probe store found no recoverable state")
+        probe.close()
+        return
+    before = _edb_state(recovered.database)
+    epoch, _replayed = probe.replay_into(recovered.database, recovered.snapshot_epoch)
+    after = _edb_state(recovered.database)
+    if epoch != recovered.epoch:
+        report.mismatches.append(
+            f"{label}: double replay moved the epoch {recovered.epoch} -> {epoch}"
+        )
+    if before != after:
+        report.mismatches.append(f"{label}: double replay changed the EDB")
+    probe.close()
+
+
+def run_crash_case(case: CrashCase, directory: Path) -> CrashReport:
+    """Kill, recover, verify, continue, recover again.
+
+    ``directory`` must be empty (one case per scratch directory).
+    """
+    report = CrashReport(case)
+    directory = Path(directory)
+
+    # phase 1: drive until the seeded crash kills the store mid-flush
+    service = _service_over(
+        directory, case, str(case.base.program), case.base.database.copy()
+    )
+    if not case.steps:
+        # the script coalesced to nothing effective: no append, no crash —
+        # just verify a clean recovery of the genesis snapshot
+        service.close()
+        recovered = _service_over(directory, case)
+        report.recovered_epoch = report.final_epoch = recovered.epoch
+        if recovered.epoch != 0:
+            report.mismatches.append(
+                f"genesis recovery landed on epoch {recovered.epoch}, expected 0"
+            )
+        else:
+            _check_state(recovered, case, 0, "genesis recovery", report)
+        recovered.close()
+        return report
+    if case.crash_kind == "before":
+        service.storage.crash_before_append = case.crash_append
+    else:
+        service.storage.crash_after_append = case.crash_append
+    crashed = False
+    try:
+        _drive(service, case.steps)
+    except RuntimeError:
+        crashed = service.storage_failed is not None
+    if not crashed:
+        report.mismatches.append("the seeded crash never fired")
+        service.close()
+        return report
+    if service.epoch != case.crash_append - 1:
+        report.mismatches.append(
+            f"crashed service published epoch {service.epoch}; the failed batch "
+            f"must stay unpublished (expected {case.crash_append - 1})"
+        )
+    service.close()
+
+    # phase 2: recovery must land exactly on the adjacent durable epoch
+    recovered = _service_over(directory, case)
+    report.recovered_epoch = recovered.epoch
+    if recovered.epoch != case.expected_epoch:
+        report.mismatches.append(
+            f"recovered to epoch {recovered.epoch}, expected {case.expected_epoch} "
+            f"(crash {case.crash_kind} append #{case.crash_append})"
+        )
+        recovered.close()
+        return report
+    _check_state(recovered, case, recovered.epoch, "post-recovery", report)
+
+    # phase 3: the WAL tail must be replayable twice with identical results
+    _check_replay_idempotent(directory, case, "idempotence", report)
+
+    # phase 4: the recovered service keeps going — finish the script
+    remaining = case.steps[recovered.epoch:]
+    _drive(recovered, remaining)
+    report.final_epoch = recovered.epoch
+    if recovered.epoch != len(case.steps):
+        report.mismatches.append(
+            f"continuation ended at epoch {recovered.epoch}, "
+            f"expected {len(case.steps)}"
+        )
+    _check_state(recovered, case, len(case.steps), "post-continuation", report)
+    recovered.close()
+
+    # phase 5: a clean second recovery reproduces the final state
+    reopened = _service_over(directory, case)
+    if reopened.epoch != len(case.steps):
+        report.mismatches.append(
+            f"second recovery landed on epoch {reopened.epoch}, "
+            f"expected {len(case.steps)}"
+        )
+    else:
+        _check_state(reopened, case, len(case.steps), "second recovery", report)
+    _check_replay_idempotent(directory, case, "final idempotence", report)
+    reopened.close()
+    return report
