@@ -117,7 +117,15 @@ class WriteTicket:
         return self._done.is_set()
 
     def resolve(self, epoch: Optional[int] = None, error: Optional[BaseException] = None) -> None:
-        """Mark the ticket finished (flusher side)."""
+        """Mark the ticket finished; the *first* resolution wins.
+
+        Two resolvers can race — ``close()`` failing an in-flight batch while
+        a stuck flusher later finishes applying it — and the outcome a waiter
+        observed must not be rewritten under it, so a resolved ticket ignores
+        further resolutions.
+        """
+        if self._done.is_set():
+            return
         self.epoch = epoch
         self.error = error
         self._done.set()
@@ -128,11 +136,16 @@ class WriteTicket:
         A flush failure raises a fresh :class:`FlushError` *per waiter*
         (chained to the flusher's exception) — many threads can wait on one
         ticket, and re-raising one shared exception object would make them
-        race over its traceback.
+        race over its traceback.  A ticket failed by shutdown re-raises as
+        :class:`ServiceClosed` (still a fresh instance per waiter), so
+        callers distinguishing "the service closed under me" from "my flush
+        failed" can catch the type ``close()`` promises.
         """
         if not self._done.wait(timeout):
             raise TimeoutError(f"write {self} not applied within {timeout}s")
         if self.error is not None:
+            if isinstance(self.error, ServiceClosed):
+                raise ServiceClosed(str(self.error)) from self.error
             raise FlushError(self, self.error) from self.error
         assert self.epoch is not None
         return self.epoch
@@ -183,6 +196,10 @@ class WriteQueue:
         self.policy = policy or FlushPolicy()
         self._cond = threading.Condition()
         self._pending: List[WriteTicket] = []
+        #: the batch the flusher most recently drained (tickets move here
+        #: atomically under the condition lock, so no ticket is ever in
+        #: neither list) — ``fail_pending`` covers its unresolved tickets
+        self._inflight: List[WriteTicket] = []
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -205,18 +222,23 @@ class WriteQueue:
             self._cond.notify_all()
 
     def fail_pending(self, error: BaseException) -> int:
-        """Resolve every still-pending ticket with ``error``; returns the count.
+        """Resolve every unresolved ticket with ``error``; returns the count.
 
         The shutdown escape hatch: when the flusher cannot (or will not)
         drain the queue — a stuck flush, a dead store — the tickets must not
-        leave their waiters blocked forever.
+        leave their waiters blocked forever.  Covers both the tickets still
+        queued *and* the drained in-flight batch a stuck flusher never
+        resolved; a racing late resolution loses (first resolution wins).
         """
         with self._cond:
-            pending = self._pending
+            abandoned = self._pending + [
+                ticket for ticket in self._inflight if not ticket.done()
+            ]
             self._pending = []
-        for ticket in pending:
+            self._inflight = []
+        for ticket in abandoned:
             ticket.resolve(error=error)
-        return len(pending)
+        return len(abandoned)
 
     # ------------------------------------------------------------------
     # flusher side
@@ -260,4 +282,8 @@ class WriteQueue:
                     self._cond.wait()
             batch = self._pending
             self._pending = []
+            # recorded under the lock: a ticket is always in exactly one of
+            # _pending/_inflight, so fail_pending can never miss the window
+            # between a drain and the flusher resolving the batch
+            self._inflight = batch
             return batch

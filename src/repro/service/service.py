@@ -159,7 +159,17 @@ class DatalogService:
                 if isinstance(storage, DurableStore)
                 else DurableStore(storage, storage_config)
             )
-            if database is None and store.has_state():
+            if store.has_state():
+                if database is not None:
+                    raise StorageError(
+                        f"storage directory {store.directory} already holds "
+                        "durable state, but an explicit database was passed; "
+                        "starting a second history there would silently lose "
+                        "acknowledged writes on the next recovery.  Recover "
+                        "the existing state (DatalogService.open(path), or "
+                        "database=None) or point the service at a fresh "
+                        "directory"
+                    )
                 recovered = store.recover()
                 database = recovered.database
                 if program is None:
@@ -226,28 +236,34 @@ class DatalogService:
         """Drain pending writes, stop the flusher and shut the reader pool.
 
         A flusher that fails to exit within ``timeout`` is *surfaced*, not
-        silently abandoned: every ticket still pending on the queue is
-        resolved with :class:`ServiceClosed` (no waiter blocks forever on a
-        write no flusher will apply) and this method raises
-        :class:`ServiceClosed` after shutting the reader pool down.
+        silently abandoned: every unresolved ticket — still queued *or* in
+        the batch the stuck flusher already drained — is resolved with
+        :class:`ServiceClosed` (no waiter blocks forever on a write no
+        flusher will acknowledge; their ``wait`` re-raises it as
+        :class:`ServiceClosed`), the reader pool and the durable store are
+        shut down regardless, and this method raises :class:`ServiceClosed`.
         """
         if self._closed:
             return
         self._closed = True
         self.queue.close()
         self._flusher.join(timeout=timeout)
-        if self._flusher.is_alive():
+        stuck = self._flusher.is_alive()
+        abandoned = 0
+        if stuck:
             abandoned = self.queue.fail_pending(
                 ServiceClosed("service closed while its flusher was stuck")
             )
+        try:
             self._readers.shutdown(wait=True)
+        finally:
+            if self.storage is not None:
+                self.storage.close()
+        if stuck:
             raise ServiceClosed(
                 f"flusher did not exit within {timeout}s; "
-                f"{abandoned} pending ticket(s) were failed"
+                f"{abandoned} unresolved ticket(s) were failed"
             )
-        self._readers.shutdown(wait=True)
-        if self.storage is not None:
-            self.storage.close()
 
     def __enter__(self) -> "DatalogService":
         return self

@@ -28,7 +28,9 @@ from ..datalog.relation import Value
 from .errors import CorruptSnapshotError, StorageError
 from .format import FORMAT_VERSION, MAGIC, Reader, Writer, frame, split_frames
 
-_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{16})\.snap$")
+# the padded width is a formatting nicety; accept wider epochs so a 17-digit
+# epoch's snapshot is still found (and sorts numerically, not lexically)
+_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{16,})\.snap$")
 
 #: ``(name, arity, row_count, packed_codes)`` — one serialized relation
 RelationPayload = Tuple[str, int, int, bytes]
@@ -53,10 +55,14 @@ def _fsync_directory(directory: Path) -> None:
 
 
 def snapshot_files(directory: Path) -> List[Path]:
-    """Snapshot files under ``directory``, oldest first."""
-    return sorted(
-        path for path in directory.iterdir() if _SNAPSHOT_PATTERN.match(path.name)
-    )
+    """Snapshot files under ``directory``, oldest first (numeric epoch order)."""
+    found = []
+    for path in directory.iterdir():
+        match = _SNAPSHOT_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort()
+    return [path for _epoch, path in found]
 
 
 def write_snapshot(

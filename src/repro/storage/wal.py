@@ -8,10 +8,16 @@ round — so the WAL stores exactly that: a framed record per flushed batch
 The log is a sequence of **segment files** ``wal-<epoch>-<seq>.log``: a new
 segment starts whenever a store attaches (never append after a possibly-torn
 tail) and whenever a compaction resets the log.  Segment order is the
-lexicographic filename order — start epochs are monotone across segments and
-the sequence number breaks ties between process lives — and replay walks
-them oldest-first, yielding every intact record payload and stopping cleanly
-at the first torn or corrupt frame.
+numeric ``(epoch, seq)`` order of the parsed filenames — start epochs are
+monotone across segments and the sequence number breaks ties between process
+lives — and replay walks them oldest-first, yielding every intact record
+payload per segment.  A torn tail in a *sealed* (non-newest) segment is the
+remains of an append a crash cut mid-write: that record was never
+acknowledged (fsync-before-acknowledge), and every later segment was opened
+by a recovery that had already dropped it, so replay skips the tear and
+continues into the later segments — their records were acknowledged as
+durable and must replay.  Only a tear in the newest segment ends the log
+(nothing follows it anyway).
 
 Durability discipline: an ``append`` writes the frame, flushes Python's
 buffer, and (when the store is configured for durability) fsyncs the file
@@ -39,7 +45,9 @@ from .format import (
     split_frames,
 )
 
-_SEGMENT_PATTERN = re.compile(r"^wal-(\d{16})-(\d{6})\.log$")
+# fixed-width fields are a formatting nicety; the pattern and ordering accept
+# wider values so a sequence past 999999 (or a 17-digit epoch) still replays
+_SEGMENT_PATTERN = re.compile(r"^wal-(\d{16,})-(\d{6,})\.log$")
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -51,10 +59,19 @@ def _fsync_directory(directory: Path) -> None:
 
 
 def segment_files(directory: Path) -> List[Path]:
-    """The WAL segment files under ``directory``, in replay order."""
-    return sorted(
-        path for path in directory.iterdir() if _SEGMENT_PATTERN.match(path.name)
-    )
+    """The WAL segment files under ``directory``, in replay order.
+
+    Ordered by the numeric ``(epoch, seq)`` parsed from the name, not by the
+    raw string — names wider than the padded formatting widths still sort
+    after their narrower predecessors.
+    """
+    found = []
+    for path in directory.iterdir():
+        match = _SEGMENT_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), int(match.group(2)), path))
+    found.sort()
+    return [path for _epoch, _seq, path in found]
 
 
 def _header_payload(epoch: int) -> bytes:
@@ -158,16 +175,20 @@ class WriteAheadLog:
     def replay(self) -> Iterator[bytes]:
         """Every intact batch payload across all segments, oldest first.
 
-        Stops at the first torn or corrupt frame — including everything in
-        *later* segments, because a record is only meaningful on top of the
-        prefix it was appended after.  Header records are validated and
-        skipped.
+        Within a segment, a torn or corrupt frame ends that segment's scan
+        (frames are sequential; nothing after a tear is reachable).  Replay
+        then *continues* into the next segment: a tear at a sealed segment's
+        tail is an append the crash cut mid-write — never acknowledged, and
+        already dropped by the recovery that opened the next segment — so
+        the later segments' records sit on top of exactly the prefix replay
+        just yielded, and they were acknowledged as durable.  Stopping at
+        the tear instead would silently lose them.  A tear in the newest
+        segment is the ordinary torn tail and simply ends the log.  Header
+        records are validated and skipped.
         """
         for path in segment_files(self.directory):
-            payloads, clean = split_frames(path.read_bytes())
+            payloads, _clean = split_frames(path.read_bytes())
             if payloads:
                 _check_header(payloads[0], path)
             for payload in payloads[1:]:
                 yield payload
-            if not clean:
-                return

@@ -4,10 +4,12 @@ Extends the update-sequence families (:mod:`repro.testing.updates`) with a
 *durability* dimension: each case drives a scripted mutation stream through a
 :class:`repro.service.DatalogService` backed by a
 :class:`repro.storage.DurableStore`, kills the store at a seeded WAL-append
-ordinal — either **before** the append (the batch is applied in memory but
-never reaches disk) or **after** it (the batch is durable but the crash lands
-between the append and snapshot publication) — and then recovers the
-directory with :meth:`DatalogService.open`.
+ordinal — **before** the append (the batch is applied in memory but never
+reaches disk), **after** it (the batch is durable but the crash lands between
+the append and snapshot publication), or **torn** (the crash lands *inside*
+the append: the frame is cut mid-write, so the record is on disk but
+incomplete and must replay as if it were never written) — and then recovers
+the directory with :meth:`DatalogService.open`.
 
 The recovered service must land on **exactly one of the two adjacent
 epochs**, never a torn in-between: the epoch before the crashed batch for a
@@ -34,7 +36,7 @@ from ..datalog.database import Database
 from ..datalog.relation import Row
 from ..engine.seminaive import seminaive_evaluate
 from ..service import DatalogService, FlushPolicy
-from ..storage import DurableStore, StorageConfig
+from ..storage import DurableStore, StorageConfig, segment_files
 from .generate import DifferentialCase
 from .updates import UpdateStep, generate_update_sequence
 
@@ -56,8 +58,10 @@ class CrashCase:
     expected: Tuple[EdbState, ...]
     #: 1-based WAL-append ordinal the store dies at
     crash_append: int
-    #: ``"before"`` (batch never reaches disk) or ``"after"`` (batch durable,
-    #: crash lands between the append and snapshot publication)
+    #: ``"before"`` (batch never reaches disk), ``"after"`` (batch durable,
+    #: crash lands between the append and snapshot publication), or
+    #: ``"torn"`` (crash mid-append: the record's frame is cut on disk and
+    #: the later process lives must keep appending past the tear)
     crash_kind: str
     #: WAL records between compactions for this schedule
     snapshot_interval: int
@@ -72,10 +76,15 @@ class CrashCase:
 
     @property
     def expected_epoch(self) -> int:
-        """The exact epoch recovery must land on (adjacent to the crash)."""
-        if self.crash_kind == "before":
-            return self.crash_append - 1
-        return self.crash_append
+        """The exact epoch recovery must land on (adjacent to the crash).
+
+        A torn append is indistinguishable from one that never happened —
+        the frame fails its checksum — so ``"torn"`` recovers like
+        ``"before"``; only a *complete* append (``"after"``) is durable.
+        """
+        if self.crash_kind == "after":
+            return self.crash_append
+        return self.crash_append - 1
 
 
 @dataclass
@@ -135,7 +144,7 @@ def generate_crash_case(seed: int) -> CrashCase:
         steps=tuple(effective),
         expected=tuple(expected),
         crash_append=crash_append,
-        crash_kind=rng.choice(("before", "after")),
+        crash_kind=rng.choice(("before", "after", "torn")),
         snapshot_interval=rng.choice(_INTERVALS),
     )
 
@@ -248,6 +257,8 @@ def run_crash_case(case: CrashCase, directory: Path) -> CrashReport:
     if case.crash_kind == "before":
         service.storage.crash_before_append = case.crash_append
     else:
+        # "after" and "torn" both let the append complete; "torn" then cuts
+        # the written frame below, as a crash landing mid-write would
         service.storage.crash_after_append = case.crash_append
     crashed = False
     try:
@@ -264,6 +275,13 @@ def run_crash_case(case: CrashCase, directory: Path) -> CrashReport:
             f"must stay unpublished (expected {case.crash_append - 1})"
         )
     service.close()
+    if case.crash_kind == "torn":
+        # emulate the crash landing *inside* the append: the newest segment's
+        # final frame — the crashed record — loses its tail byte.  The
+        # recovered service opens a fresh segment past this tear, and the
+        # final recovery must replay records from both sides of it.
+        last = segment_files(directory)[-1]
+        last.write_bytes(last.read_bytes()[:-1])
 
     # phase 2: recovery must land exactly on the adjacent durable epoch
     recovered = _service_over(directory, case)

@@ -2,8 +2,9 @@
 
 The durability layer's tier-1 foothold: seeded kill/restore schedules
 (:mod:`repro.testing.recovery`) drive a durable ``DatalogService`` over every
-generator family, kill the store at a seeded WAL-append ordinal (before or
-after the append), and assert the recovered service reproduces **exactly**
+generator family, kill the store at a seeded WAL-append ordinal (before the
+append, after it, or tearing the appended frame mid-write), and assert the
+recovered service reproduces **exactly**
 the adjacent epoch's state — tuple-identical EDB against a shadow replay,
 tuple-identical views against from-scratch semi-naive evaluation — never a
 torn in-between.  Every schedule also proves WAL replay idempotent (a double
@@ -38,10 +39,12 @@ def test_generation_is_deterministic():
     assert first.expected == second.expected
 
 
-def test_batch_covers_both_crash_windows_and_compaction():
+def test_batch_covers_every_crash_window_and_compaction():
     cases = generate_crash_cases(SEED_COUNT)
     kinds = {case.crash_kind for case in cases}
-    assert kinds == {"before", "after"}
+    # "torn" schedules recover past a cut frame and then *continue* — the
+    # final recovery replays acknowledged records on both sides of the tear
+    assert kinds == {"before", "after", "torn"}
     # schedules must include aggressive compaction (snapshot per record) and
     # effectively-disabled compaction (pure WAL replay) so recovery is
     # exercised from both short and long log tails

@@ -166,24 +166,63 @@ class TestWriteAheadLog:
         wal.close()
         assert list(WriteAheadLog(tmp_path, fsync=False).replay()) == [b"first", b"second"]
 
-    def test_torn_tail_stops_replay_including_later_segments(self, tmp_path):
+    def test_torn_tail_of_the_newest_segment_ends_replay(self, tmp_path):
         wal = WriteAheadLog(tmp_path, fsync=False)
         wal.start_segment(0)
         wal.append(b"alpha")
         wal.append(b"beta")
         wal.close()
+        only = segment_files(tmp_path)[0]
+        only.write_bytes(only.read_bytes()[:-4])  # cut "beta" mid-frame
+        assert list(WriteAheadLog(tmp_path, fsync=False).replay()) == [b"alpha"]
+
+    def test_torn_sealed_tail_is_skipped_and_later_segments_replay(self, tmp_path):
+        # segment 1 ends in a torn append: that record was never acknowledged
+        # (fsync-before-acknowledge), and the next process life — which tore
+        # it off during recovery — appended *acknowledged* records to segment
+        # 2.  Replay must skip the tear and keep going, or those durable,
+        # acknowledged records are silently lost.
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        wal.start_segment(0)
+        wal.append(b"alpha")
+        wal.append(b"beta")
+        wal.append(b"torn-away")
+        wal.close()
+        first = segment_files(tmp_path)[0]
+        first.write_bytes(first.read_bytes()[:-4])  # cut "torn-away" mid-frame
         wal2 = WriteAheadLog(tmp_path, fsync=False)
         wal2.start_segment(2)
         wal2.append(b"gamma")
         wal2.close()
-        segments = segment_files(tmp_path)
-        assert len(segments) == 2
-        # tear the FIRST segment's tail: the record after it lives in a later
-        # segment but was appended on top of the torn prefix — it must not
-        # replay
-        first = segments[0]
-        first.write_bytes(first.read_bytes()[:-4])
-        assert list(WriteAheadLog(tmp_path, fsync=False).replay()) == [b"alpha"]
+        assert len(segment_files(tmp_path)) == 2
+        assert list(WriteAheadLog(tmp_path, fsync=False).replay()) == [
+            b"alpha",
+            b"beta",
+            b"gamma",
+        ]
+
+    def test_wide_sequence_numbers_are_found_and_sort_numerically(self, tmp_path):
+        # lexicographically "1000000" sorts before "999999"; segment order
+        # (and _next_sequence) must parse the fields, not compare strings
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        wal.start_segment(7)
+        wal.append(b"older")
+        wal.close()
+        seg = segment_files(tmp_path)[0]
+        seg.rename(seg.with_name(f"wal-{7:016d}-999999.log"))
+        wal2 = WriteAheadLog(tmp_path, fsync=False)
+        assert wal2._next_sequence() == 1_000_000
+        wal2.start_segment(7)
+        wal2.append(b"newer")
+        wal2.close()
+        assert [path.name for path in segment_files(tmp_path)] == [
+            f"wal-{7:016d}-999999.log",
+            f"wal-{7:016d}-1000000.log",
+        ]
+        assert list(WriteAheadLog(tmp_path, fsync=False).replay()) == [
+            b"older",
+            b"newer",
+        ]
 
     def test_reset_drops_covered_segments(self, tmp_path):
         wal = WriteAheadLog(tmp_path, fsync=False)
@@ -337,6 +376,38 @@ class TestDurableStore:
         assert recovered.epoch == 1
         assert (4, 4) in recovered.database.relation("edge").rows()
 
+    def test_acknowledged_records_survive_an_earlier_torn_tail(self, tmp_path):
+        """The review scenario: tear segment A's tail, append to segment B.
+
+        Recovery drops the torn record and opens a new segment; records
+        acknowledged there are durable and a *second* recovery must replay
+        them — a torn sealed tail must not swallow the later segments.
+        """
+        store, _db = self._seeded(tmp_path)
+        store.log_batch(1, [("insert", "edge", [(4, 4)])])
+        store.log_batch(2, [("insert", "edge", [(5, 5)])])
+        store.close()
+        last = segment_files(tmp_path)[-1]
+        last.write_bytes(last.read_bytes()[:-1])  # record 2 tears mid-append
+
+        second = DurableStore(tmp_path, fast_config())
+        recovered = second.recover()
+        assert recovered.epoch == 1  # the torn record never happened
+        assert (5, 5) not in recovered.database.relation("edge").rows()
+        second.attach(TC, recovered.database, recovered.epoch)
+        second.log_batch(2, [("insert", "edge", [(6, 6)])])  # acknowledged
+        second.close()
+
+        final = DurableStore(tmp_path, fast_config()).recover()
+        assert final.epoch == 2
+        assert final.records_replayed == 2
+        assert final.database.relation("edge").rows() == {
+            (1, 2),
+            (2, 3),
+            (4, 4),
+            (6, 6),
+        }
+
     def test_wal_without_snapshot_is_corrupt(self, tmp_path):
         wal = WriteAheadLog(tmp_path, fsync=False)
         wal.start_segment(0)
@@ -390,6 +461,40 @@ class TestServicePersistence:
     def test_fresh_directory_requires_a_program(self, tmp_path):
         with pytest.raises(ValueError, match="program"):
             DatalogService.open(tmp_path)
+
+    def test_explicit_database_over_existing_state_is_refused(self, tmp_path):
+        # silently starting a second history would open a low-epoch WAL
+        # segment whose records a later recovery's epoch guard drops
+        service = self._open(tmp_path, TC)
+        service.insert("edge", (1, 2), wait=True)
+        service.close()
+        fresh = Database()
+        fresh.declare("edge", 2).add_all([(9, 9)])
+        with pytest.raises(StorageError, match="already holds"):
+            DatalogService(
+                TC, database=fresh, storage=tmp_path, storage_config=fast_config()
+            )
+        # recovery (no explicit database) is still the supported reopen path
+        reopened = self._open(tmp_path)
+        assert reopened.epoch == 1
+        assert reopened.query("path(X, Y)?").answers == {(1, 2)}
+        reopened.close()
+
+    def test_explicit_database_over_a_fresh_directory_still_works(self, tmp_path):
+        seeded = Database()
+        seeded.declare("edge", 2).add_all([(1, 2)])
+        service = DatalogService(
+            TC,
+            database=seeded,
+            storage=tmp_path,
+            storage_config=fast_config(),
+            flush_policy=FAST,
+        )
+        service.insert("edge", (2, 3), wait=True)
+        service.close()
+        reopened = self._open(tmp_path)
+        assert reopened.query("path(X, Y)?").answers == {(1, 2), (2, 3), (1, 3)}
+        reopened.close()
 
     def test_storage_failure_poisons_writes_but_not_reads(self, tmp_path):
         service = self._open(tmp_path, TC)
@@ -448,7 +553,7 @@ class TestFlushFailurePropagation:
 
 
 class TestCloseBehavior:
-    def test_stuck_flusher_is_surfaced_and_pending_tickets_fail(self):
+    def test_stuck_flusher_is_surfaced_and_all_tickets_fail(self):
         service = DatalogService(TC, flush_policy=FAST)
         registry_lock = service.session.registry.lock
         registry_lock.acquire()  # wedge the flusher mid-apply
@@ -461,14 +566,43 @@ class TestCloseBehavior:
             pending = service.insert("edge", (2, 3))
             with pytest.raises(ServiceClosed, match="did not exit"):
                 service.close(timeout=0.2)
-            # the queued ticket was failed, not abandoned
+            # the queued ticket was failed, not abandoned — and shutdown
+            # failures surface as ServiceClosed, not a generic FlushError
             assert pending.done()
-            with pytest.raises(FlushError, match="stuck"):
+            with pytest.raises(ServiceClosed, match="stuck"):
                 pending.wait(timeout=1)
+            # the ticket the flusher had already drained (the in-flight
+            # batch it is stuck applying) is failed too, not left to block
+            # its waiters forever
+            assert blocked.done()
+            with pytest.raises(ServiceClosed, match="stuck"):
+                blocked.wait(timeout=1)
         finally:
             registry_lock.release()
-        # the flusher finishes the batch it held once unwedged
-        assert blocked.wait(timeout=10) >= 1
+        service._flusher.join(timeout=10)
+        assert not service._flusher.is_alive()
+        # the flusher finished the batch once unwedged, but the outcome a
+        # waiter observed is not rewritten: the first resolution wins
+        with pytest.raises(ServiceClosed, match="stuck"):
+            blocked.wait(timeout=1)
+
+    def test_stuck_flusher_close_still_closes_the_store(self, tmp_path):
+        service = DatalogService.open(
+            tmp_path, TC, storage_config=fast_config(), flush_policy=FAST
+        )
+        registry_lock = service.session.registry.lock
+        registry_lock.acquire()
+        try:
+            ticket = service.insert("edge", (1, 2))
+            with pytest.raises(ServiceClosed, match="did not exit"):
+                service.close(timeout=0.2)
+            # the raise path must not leak the WAL handle
+            assert service.storage.wal._handle is None
+            assert not service.storage.attached
+            with pytest.raises(ServiceClosed):
+                ticket.wait(timeout=1)
+        finally:
+            registry_lock.release()
         service._flusher.join(timeout=10)
         assert not service._flusher.is_alive()
 
