@@ -34,6 +34,7 @@ from repro import Session
 from repro.datalog import Database
 from repro.engine import (
     SelectionQuery,
+    columnar_mode,
     interning_mode,
     kernel_mode,
     seminaive_evaluate,
@@ -69,11 +70,13 @@ def timed_modes(function):
 
     Returns ``(fast seconds, interpreted seconds, fast result, interpreted
     result)`` with both results produced by the same callable, so callers can
-    assert tuple-identical output.
+    assert tuple-identical output.  The columnar batch executor (E19's
+    subject) is pinned off in both modes — this experiment isolates the
+    kernels + interning against the interpreter.
     """
-    with kernel_mode(True), interning_mode(True):
+    with kernel_mode(True), interning_mode(True), columnar_mode(False):
         fast_time, fast_result = best_of(function)
-    with kernel_mode(False), interning_mode(False):
+    with kernel_mode(False), interning_mode(False), columnar_mode(False):
         interpreted_time, interpreted_result = best_of(function)
     return fast_time, interpreted_time, fast_result, interpreted_result
 
@@ -188,9 +191,9 @@ def test_e16_unfolded_evaluation_speedup(benchmark):
     def compare():
         # extra rounds: this workload has the thinnest margin of the suite,
         # so buy noise-resistance with a deeper best-of
-        with kernel_mode(True), interning_mode(True):
+        with kernel_mode(True), interning_mode(True), columnar_mode(False):
             fast_time, fast_answers = best_of(run_queries, rounds=5)
-        with kernel_mode(False), interning_mode(False):
+        with kernel_mode(False), interning_mode(False), columnar_mode(False):
             interpreted_time, interpreted_answers = best_of(run_queries, rounds=5)
         assert fast_answers == interpreted_answers
         return interpreted_time, fast_time

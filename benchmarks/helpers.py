@@ -14,6 +14,14 @@ The JSON files land in ``benchmarks/out/`` (gitignored) by default; set
 ``BENCH_JSON_DIR`` to redirect them, e.g. to a CI artifact directory or to a
 directory kept outside the tree for before/after comparisons.  Writes are
 atomic per file; the merge assumes the usual single-process pytest run.
+
+The *headline* experiments (the perf-regression gates: E16 kernels, E19
+columnar) are additionally mirrored to the repository root as committed
+baselines — ``BENCH_e16.json`` / ``BENCH_e19.json`` next to ROADMAP.md — so
+every checkout carries the numbers its CI guards were last green against and
+``git diff`` shows perf drift alongside the code that caused it.  The mirror
+honors ``BENCH_JSON_DIR``: redirected runs still update only their own
+output directory's copy of the file before it is mirrored.
 """
 
 from __future__ import annotations
@@ -27,6 +35,12 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence
 from repro.analysis import format_table
 
 _EXPERIMENT_PATTERN = re.compile(r"e\d{2}")
+
+#: experiments whose BENCH_*.json is mirrored to the repo root as a committed
+#: baseline (the CI perf gates)
+HEADLINE_EXPERIMENTS = frozenset(("e16", "e19"))
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def output_dir() -> Path:
@@ -85,7 +99,21 @@ def write_bench_json(experiment: str, entry_name: str, payload: Mapping) -> Path
     except BaseException:
         scratch.unlink(missing_ok=True)
         raise
+    if experiment in HEADLINE_EXPERIMENTS:
+        _mirror_headline(path)
     return path
+
+
+def _mirror_headline(path: Path) -> None:
+    """Copy a headline ``BENCH_*.json`` to the repo root (committed baseline)."""
+    target = _REPO_ROOT / path.name
+    if target == path:
+        return
+    try:
+        target.write_text(path.read_text())
+    except OSError:
+        # a read-only checkout (e.g. an installed wheel) keeps its baseline
+        pass
 
 
 def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -31,7 +31,6 @@ Design notes
 
 from __future__ import annotations
 
-import struct
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .errors import SchemaError
@@ -204,13 +203,22 @@ class Relation:
         """
         if self._frozen or self._cow_shared:
             self._detach_for_mutation()
+        if not self._indexes:
+            # no indexes to maintain: skip materializing the fresh-row set
+            # and let the C-level union count for us (the columnar executor
+            # lands its whole fixpoint's derivations through here)
+            before = len(self._rows)
+            self._rows |= rows
+            added = len(self._rows) - before
+            if added:
+                self.version += 1
+            return added
         fresh = rows - self._rows
         if not fresh:
             return 0
         self._rows |= fresh
         self.version += 1
-        if self._indexes:
-            self._extend_indexes(fresh)
+        self._extend_indexes(fresh)
         return len(fresh)
 
     def discard(self, row: Sequence[Value]) -> bool:
@@ -330,10 +338,14 @@ class Relation:
         makes snapshots diffable and the differential harness's
         byte-identity checks meaningful.  Works on frozen handles: reading
         rows never mutates.
+
+        The codec itself lives in :mod:`repro.engine.packing` (shared with
+        the columnar engine, imported lazily to keep this module free of
+        engine dependencies at import time).
         """
-        coded = sorted(tuple(intern(value) for value in row) for row in self._rows)
-        flat = [code for row in coded for code in row]
-        return len(coded), struct.pack(f"<{len(flat)}q", *flat)
+        from ..engine.packing import pack_rows
+
+        return pack_rows(self._rows, intern)
 
     @classmethod
     def from_packed_rows(
@@ -350,18 +362,12 @@ class Relation:
         decoder).  The zero-arity cases carry no bytes at all, so the row
         count disambiguates ``{}`` from ``{()}``.
         """
-        if arity == 0:
-            return cls.from_valid_rows(name, 0, {()} if count else set())
-        expected = count * arity * 8
-        if len(packed) != expected:
-            raise SchemaError(
-                f"relation {name}: packed rows have {len(packed)} bytes, expected {expected}"
-            )
-        codes = struct.unpack(f"<{count * arity}q", packed)
-        rows = {
-            tuple(decode(code) for code in codes[start:start + arity])
-            for start in range(0, len(codes), arity)
-        }
+        from ..engine.packing import unpack_rows
+
+        try:
+            rows = unpack_rows(packed, arity, count, decode)
+        except ValueError as exc:
+            raise SchemaError(f"relation {name}: {exc}") from None
         return cls.from_valid_rows(name, arity, rows)
 
     # ------------------------------------------------------------------

@@ -17,6 +17,13 @@ from .cq_eval import (
 )
 from .domain import Domain, interning_enabled, interning_mode, set_interning_enabled
 from .instrumentation import EvaluationStats
+from .columnar import (
+    ColumnStore,
+    columnar_enabled,
+    columnar_mode,
+    leapfrog_join,
+    set_columnar_enabled,
+)
 from .kernels import kernel_mode, kernels_enabled, set_kernels_enabled
 from .naive import naive_evaluate, naive_query
 from .query import QueryResult, SelectionQuery, answer, as_selection_query
@@ -30,6 +37,7 @@ from .seminaive import (
 from .strata import evaluation_strata, strongly_connected_components
 
 __all__ = [
+    "ColumnStore",
     "CompiledRule",
     "Domain",
     "EvaluationStats",
@@ -39,6 +47,8 @@ __all__ = [
     "answer",
     "as_relation",
     "as_selection_query",
+    "columnar_enabled",
+    "columnar_mode",
     "compile_delta_variants",
     "compile_program_rules",
     "compile_rule",
@@ -53,6 +63,7 @@ __all__ = [
     "join",
     "kernel_mode",
     "kernels_enabled",
+    "leapfrog_join",
     "naive_evaluate",
     "naive_query",
     "overlay_relations",
@@ -64,6 +75,7 @@ __all__ = [
     "semijoin",
     "seminaive_evaluate",
     "seminaive_query",
+    "set_columnar_enabled",
     "set_interning_enabled",
     "set_kernels_enabled",
     "strongly_connected_components",

@@ -42,6 +42,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..datalog.relation import Relation, Row, Value
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Variable
+from .columnar import columnar_enabled, leapfrog_join, wcoj_eligible
 from .cq_eval import plan_order
 from .instrumentation import EvaluationStats
 from .kernels import build_kernel, kernels_enabled
@@ -288,6 +289,17 @@ class CompiledRule:
         """Head tuples derived by one application of the compiled rule."""
         if not self.producible:
             return set()
+        if overrides is None and bindings is None and columnar_enabled():
+            # worst-case-optimal dispatch: cyclic nonrecursive bodies (e.g.
+            # the triangle query) run the leapfrog join, whose tuple visits
+            # are bounded by the AGM bound instead of the best binary plan's
+            # intermediate size (see repro.engine.columnar)
+            resolved = wcoj_eligible(self, relations)
+            if resolved is not None:
+                result = leapfrog_join(self, resolved, stats)
+                if stats is not None:
+                    stats.record_produced(len(result))
+                return result
         if kernels_enabled():
             initial = self._initial(bindings)
             resolved = self._resolve(relations, overrides)

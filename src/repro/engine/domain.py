@@ -23,13 +23,12 @@ for tuple.
 
 from __future__ import annotations
 
-import os
 import weakref
-from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional
 
 from ..datalog.relation import Relation, Row, Value
 from .compile import AtomStep, CompiledRule
+from .flags import EngineFlag
 
 __all__ = [
     "Domain",
@@ -43,35 +42,23 @@ __all__ = [
     "set_interning_enabled",
 ]
 
-_DISABLING = frozenset(("off", "0", "false", "no", "disabled"))
-
-#: tri-state override installed by :func:`set_interning_enabled`; ``None``
-#: defers to the ``REPRO_INTERN`` environment variable
-_forced: Optional[bool] = None
+#: the ``REPRO_INTERN`` switch (see :mod:`repro.engine.flags`)
+INTERN_FLAG = EngineFlag("REPRO_INTERN")
 
 
 def interning_enabled() -> bool:
     """``True`` when the fixpoint engines should evaluate over interned ints."""
-    if _forced is not None:
-        return _forced
-    return os.environ.get("REPRO_INTERN", "on").strip().lower() not in _DISABLING
+    return INTERN_FLAG.enabled()
 
 
 def set_interning_enabled(enabled: Optional[bool]) -> None:
     """Force interning on/off; ``None`` restores the ``REPRO_INTERN`` switch."""
-    global _forced
-    _forced = enabled
+    INTERN_FLAG.set(enabled)
 
 
-@contextmanager
-def interning_mode(enabled: bool):
+def interning_mode(enabled: Optional[bool]):
     """Temporarily force interning on or off (differential-testing hook)."""
-    previous = _forced
-    set_interning_enabled(enabled)
-    try:
-        yield
-    finally:
-        set_interning_enabled(previous)
+    return INTERN_FLAG.mode(enabled)
 
 
 class Domain:

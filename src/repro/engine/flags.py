@@ -1,0 +1,88 @@
+"""Engine feature flags — the shared env-var/override machinery.
+
+Every engine fast path ships behind the same three-part switch:
+
+* an environment variable (``REPRO_KERNELS``, ``REPRO_INTERN``,
+  ``REPRO_COLUMNAR``) that turns the path off for a whole process
+  (``off``/``0``/``false``/``no``/``disabled``);
+* a tri-state programmatic override (``set_*_enabled``) where ``None``
+  restores the environment variable's verdict; and
+* a context manager (``*_mode``) that forces the flag for a scope and
+  restores the previous override on exit — the differential harness's hook
+  for pinning each execution mode.
+
+:class:`EngineFlag` implements that contract once; :mod:`repro.engine.kernels`,
+:mod:`repro.engine.domain` and :mod:`repro.engine.columnar` each instantiate
+it and re-export their historical function names on top.
+
+Beyond on/off, a flag can carry a *forcing* state (``force``/``always``).
+The columnar engine uses it: ``on`` means "batch execution where the adaptive
+planner predicts a win", while ``force`` bypasses the prediction so tests can
+exercise the batch path on workloads too small to profit from it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Union
+
+__all__ = ["DISABLING_VALUES", "FORCING_VALUES", "EngineFlag"]
+
+#: environment values that turn a flag off
+DISABLING_VALUES = frozenset(("off", "0", "false", "no", "disabled"))
+#: environment values that additionally bypass adaptive heuristics
+FORCING_VALUES = frozenset(("force", "always"))
+
+
+class EngineFlag:
+    """One engine feature switch: environment variable + tri-state override."""
+
+    __slots__ = ("env_var", "default", "_forced")
+
+    def __init__(self, env_var: str, default: str = "on") -> None:
+        self.env_var = env_var
+        self.default = default
+        #: override installed by :meth:`set`; ``None`` defers to the
+        #: environment variable
+        self._forced: Optional[str] = None
+
+    def state(self) -> str:
+        """The effective setting string (override first, then environment)."""
+        if self._forced is not None:
+            return self._forced
+        return os.environ.get(self.env_var, self.default).strip().lower()
+
+    def enabled(self) -> bool:
+        """``True`` unless the effective setting is a disabling value."""
+        return self.state() not in DISABLING_VALUES
+
+    def forced(self) -> bool:
+        """``True`` when the effective setting bypasses adaptive heuristics."""
+        return self.state() in FORCING_VALUES
+
+    def set(self, enabled: Union[bool, str, None]) -> None:
+        """Install an override; ``None`` restores the environment switch.
+
+        Booleans map to ``"on"``/``"off"``; a string installs that state
+        verbatim (e.g. ``"force"``).
+        """
+        if enabled is None:
+            self._forced = None
+        elif isinstance(enabled, str):
+            self._forced = enabled.strip().lower()
+        else:
+            self._forced = "on" if enabled else "off"
+
+    @contextmanager
+    def mode(self, enabled: Union[bool, str, None]):
+        """Temporarily force the flag for a scope (differential-testing hook)."""
+        previous = self._forced
+        self.set(enabled)
+        try:
+            yield
+        finally:
+            self._forced = previous
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EngineFlag({self.env_var}={self.state()!r})"

@@ -43,9 +43,9 @@ interpreted == kernel results tuple for tuple.
 
 from __future__ import annotations
 
-import os
-from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
+
+from .flags import EngineFlag
 
 __all__ = [
     "build_kernel",
@@ -56,35 +56,23 @@ __all__ = [
     "set_kernels_enabled",
 ]
 
-_DISABLING = frozenset(("off", "0", "false", "no", "disabled"))
-
-#: tri-state override installed by :func:`set_kernels_enabled`; ``None``
-#: defers to the ``REPRO_KERNELS`` environment variable
-_forced: Optional[bool] = None
+#: the ``REPRO_KERNELS`` switch (see :mod:`repro.engine.flags`)
+KERNELS_FLAG = EngineFlag("REPRO_KERNELS")
 
 
 def kernels_enabled() -> bool:
     """``True`` when compiled plans should run their generated kernels."""
-    if _forced is not None:
-        return _forced
-    return os.environ.get("REPRO_KERNELS", "on").strip().lower() not in _DISABLING
+    return KERNELS_FLAG.enabled()
 
 
 def set_kernels_enabled(enabled: Optional[bool]) -> None:
     """Force kernels on/off; ``None`` restores the ``REPRO_KERNELS`` switch."""
-    global _forced
-    _forced = enabled
+    KERNELS_FLAG.set(enabled)
 
 
-@contextmanager
-def kernel_mode(enabled: bool):
+def kernel_mode(enabled: Optional[bool]):
     """Temporarily force kernels on or off (differential-testing hook)."""
-    previous = _forced
-    set_kernels_enabled(enabled)
-    try:
-        yield
-    finally:
-        set_kernels_enabled(previous)
+    return KERNELS_FLAG.mode(enabled)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..datalog.database import Database
 from ..datalog.relation import Relation, Row
 from ..datalog.rules import Program
+from .columnar import build_group_executor, columnar_enabled, columnar_forced
 from .compile import PlanCache, compile_delta_variants, compile_program_rules
 from .domain import Domain, engine_relations, intern_plan, intern_plans
 from .instrumentation import EvaluationStats
@@ -114,6 +115,17 @@ def _evaluate_group(
             ]
         delta_plans.extend(variants)
     stats.record_plans_compiled(len(delta_plans))
+
+    # Columnar batch execution: when every delta variant fits a vectorizable
+    # template (and the workload looks fat enough to amortize it — or
+    # ``REPRO_COLUMNAR=force`` says to go regardless), the whole delta
+    # iteration runs set-at-a-time with identical results and identical
+    # instrumentation totals; otherwise the kernel loop below runs as before.
+    if columnar_enabled():
+        executor = build_group_executor(group, delta_plans, relations, derived, current)
+        if executor is not None and (columnar_forced() or executor.looks_profitable()):
+            executor.run(stats)
+            return
 
     # Iterate: apply recursive rules to the deltas only.
     while any(not current[p].is_empty() for p in group):

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..datalog.database import Database
 from ..datalog.relation import Relation, Row
 from ..engine.domain import Domain
+from ..engine.packing import pack_rows
 from .errors import SimulatedCrash, StorageError
 from .format import OP_DELETE, OP_INSERT, RECORD_BATCH, Reader, Writer
 from .snapshot import load_latest_snapshot, write_snapshot
@@ -396,8 +397,4 @@ class DurableStore:
 
 def _pack_rows(rows: Sequence[Row], arity: int, intern) -> Tuple[int, bytes]:
     """Pack caller rows (not a Relation) as sorted int-code rows."""
-    import struct
-
-    coded = sorted({tuple(intern(value) for value in row) for row in rows})
-    flat = [code for row in coded for code in row]
-    return len(coded), struct.pack(f"<{len(flat)}q", *flat)
+    return pack_rows(rows, intern)

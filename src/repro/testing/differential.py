@@ -16,13 +16,17 @@ tuple:
   ``strategy="auto"``, i.e. the full rewrite-then-evaluate path (bounded
   unfolding, one-sided schema, counting, magic, semi-naive), runs on every
   case; whatever strategy it picks must reproduce the reference answers;
-* **interpreted / kernel** — semi-naive evaluation re-run with the engine
-  runtime pinned to its three execution modes: the interpreted step machine
-  (``REPRO_KERNELS=off`` + ``REPRO_INTERN=off``), generated kernels over raw
-  values, and generated kernels over the interned value domain (the
-  default).  All three must produce identical IDB relations tuple for tuple,
-  which is what licenses shipping the codegen/interning fast path as the
-  default runtime.
+* **interpreted / kernel / columnar** — semi-naive evaluation re-run with
+  the engine runtime pinned to each of its execution modes: the interpreted
+  step machine (``REPRO_KERNELS=off`` + ``REPRO_INTERN=off``), generated
+  kernels over raw values, generated kernels over the interned value domain
+  (the default), and the columnar batch executor forced on
+  (``REPRO_COLUMNAR=force``) so it runs even on workloads the adaptive
+  planner would hand back to the kernels.  All modes must produce identical
+  IDB relations tuple for tuple, *and* the :class:`EvaluationStats` totals
+  of the pinned modes must match exactly — the batch executor reproduces
+  the interpreted engine's instrumentation contract, not just its model —
+  which is what licenses shipping the fast paths as the default runtime.
 
 A mismatch produces a report carrying the offending seed, so any failure is
 reproducible with ``generate_case(seed)``.
@@ -37,7 +41,9 @@ from ..baselines.counting import counting_query, counting_scope_reason
 from ..baselines.magic import magic_query
 from ..datalog.errors import EvaluationError
 from ..datalog.relation import Row
+from ..engine.columnar import columnar_mode
 from ..engine.domain import interning_mode
+from ..engine.instrumentation import EvaluationStats
 from ..engine.kernels import kernel_mode
 from ..engine.naive import naive_evaluate
 from ..engine.query import answer
@@ -90,16 +96,26 @@ def run_differential(case: DifferentialCase) -> DifferentialReport:
                 f"(naive-only sample {only_naive}, seminaive-only sample {only_semi})"
             )
 
-    # The engine runtime's three execution modes must agree with the default
-    # run above (whatever mode the process runs under): interpreted step
-    # machine, kernels over raw values, kernels over the interned domain.
-    for engine, kernels, interning in (
-        ("interpreted", False, False),
-        ("kernel", True, False),
-        ("interned", True, True),
+    # The engine runtime's execution modes must agree with the default run
+    # above (whatever mode the process runs under): interpreted step machine,
+    # kernels over raw values, kernels over the interned domain, and the
+    # columnar batch executor forced past the adaptive planner.  Beyond the
+    # tuple-for-tuple model check, the pinned modes' instrumentation totals
+    # must be identical — the fast paths reproduce the interpreted engine's
+    # accounting, so a drifting counter is a bug even when the model agrees.
+    mode_stats: Dict[str, Dict[str, float]] = {}
+    for engine, kernels, interning, columnar in (
+        ("interpreted", False, False, False),
+        ("kernel", True, False, False),
+        ("interned", True, True, False),
+        ("columnar", True, True, "force"),
     ):
-        with kernel_mode(kernels), interning_mode(interning):
-            mode_derived = seminaive_evaluate(program, database)
+        stats = EvaluationStats()
+        with kernel_mode(kernels), interning_mode(interning), columnar_mode(columnar):
+            mode_derived = seminaive_evaluate(program, database, stats)
+        totals = stats.as_dict()
+        totals.pop("elapsed_seconds", None)
+        mode_stats[engine] = totals
         report.engines[engine] = "ok"
         for predicate in sorted(set(semi_derived) | set(mode_derived)):
             semi_rows = semi_derived[predicate].rows() if predicate in semi_derived else set()
@@ -111,6 +127,19 @@ def run_differential(case: DifferentialCase) -> DifferentialReport:
                     f"{engine}: {predicate}: {len(mode_rows)} vs seminaive={len(semi_rows)} tuples "
                     f"({engine}-only sample {only_mode}, seminaive-only sample {only_semi})"
                 )
+    reference_stats = mode_stats["interpreted"]
+    for engine, totals in mode_stats.items():
+        if totals != reference_stats:
+            drifted = sorted(
+                key
+                for key in set(totals) | set(reference_stats)
+                if totals.get(key) != reference_stats.get(key)
+            )
+            details = ", ".join(
+                f"{key}: {engine}={totals.get(key)} vs interpreted={reference_stats.get(key)}"
+                for key in drifted
+            )
+            report.mismatches.append(f"{engine}: stats drift vs interpreted ({details})")
 
     if query.predicate in semi_derived:
         reference: Set[Row] = query.select(semi_derived[query.predicate].rows())

@@ -1,0 +1,361 @@
+"""The columnar batch engine must match the row engines exactly.
+
+Three layers of contract are pinned here:
+
+* :class:`ColumnStore` is a lossless change of representation — round trips
+  through columns (and through the shared packed codec) are identities, and
+  stores never alias a relation's copy-on-write internals;
+* the two-relation join primitives (hash, merge, auto) agree with each other
+  and with a brute-force join on every input;
+* whole evaluations under ``REPRO_COLUMNAR=force`` reproduce the kernel
+  engine's derived relations *and* its instrumentation totals, tuple for
+  tuple and counter for counter, while the leapfrog join on cyclic bodies
+  examines asymptotically fewer tuples than the binary plans it replaces.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.relation import Relation
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.engine import (
+    ColumnStore,
+    EvaluationStats,
+    columnar_enabled,
+    columnar_mode,
+    compile_rule,
+    interning_mode,
+    kernel_mode,
+    seminaive_evaluate,
+)
+from repro.engine.columnar import (
+    batch_hash_join,
+    columnar_forced,
+    is_cyclic,
+    join,
+    leapfrog_join,
+    merge_join,
+    set_columnar_enabled,
+    wcoj_eligible,
+)
+from repro.testing import generate_case
+from repro.workloads import (
+    ALL_CANONICAL,
+    appendix_a_database,
+    edge_database,
+    layered_dag,
+    permissions_database,
+    random_graph,
+    same_generation_database,
+    uniform_tree,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def random_relation(rng: random.Random, name: str, arity: int, size: int, ints: bool) -> Relation:
+    def value():
+        return rng.randrange(50) if ints else rng.choice(["a", "b", 3, ("n", 1), None])
+
+    rows = {tuple(value() for _ in range(arity)) for _ in range(size)}
+    return Relation(name, arity, rows)
+
+
+class TestColumnStoreRoundTrip:
+    def test_identity_over_random_arities_and_sizes(self):
+        rng = random.Random(7)
+        for arity in (1, 2, 3, 4):
+            for size in (0, 1, 2, 17, 100):
+                for ints in (True, False):
+                    relation = random_relation(rng, "r", arity, size, ints)
+                    store = ColumnStore.from_relation(relation)
+                    back = store.to_relation()
+                    assert back.name == relation.name
+                    assert back.arity == relation.arity
+                    assert back.rows() == relation.rows()
+                    assert len(store) == len(relation.rows())
+
+    def test_arity_zero_relations(self):
+        empty = Relation("e", 0)
+        assert ColumnStore.from_relation(empty).to_relation().rows() == set()
+        nonempty = Relation("e", 0, [()])
+        assert ColumnStore.from_relation(nonempty).to_relation().rows() == {()}
+
+    def test_int_columns_use_machine_arrays(self):
+        store = ColumnStore.from_relation(Relation("r", 2, [(1, 2), (3, 4)]))
+        assert all(isinstance(column, array) for column in store.columns)
+        mixed = ColumnStore.from_relation(Relation("r", 2, [(1, "x")]))
+        assert all(isinstance(column, list) for column in mixed.columns)
+
+    def test_packed_codec_round_trip(self):
+        rng = random.Random(11)
+        for arity in (1, 2, 3):
+            relation = random_relation(rng, "p", arity, 40, ints=True)
+            store = ColumnStore.from_relation(relation)
+            count, packed = store.packed_rows()
+            again = ColumnStore.from_packed_rows("p", arity, count, packed)
+            assert again.rows() == relation.rows()
+            assert (count, packed) == relation.packed_rows(None)
+
+
+class TestColumnStoreNoAliasing:
+    def test_store_survives_cow_detach_of_live_relation(self):
+        live = Relation("r", 2, [(1, 2), (3, 4)])
+        store = ColumnStore.from_relation(live)
+        snapshot = live.freeze()
+        # first mutation after the freeze detaches the live relation's storage
+        live.add((5, 6))
+        assert store.rows() == {(1, 2), (3, 4)}
+        assert snapshot.rows() == {(1, 2), (3, 4)}
+        assert live.rows() == {(1, 2), (3, 4), (5, 6)}
+
+    def test_store_built_from_snapshot_never_sees_live_mutations(self):
+        live = Relation("r", 2, [(1, 2)])
+        snapshot = live.freeze()
+        store = ColumnStore.from_relation(snapshot)
+        live.add((7, 8))
+        live.discard((1, 2))
+        assert store.rows() == {(1, 2)}
+
+    def test_two_stores_never_share_column_arrays(self):
+        relation = Relation("r", 2, [(1, 2), (3, 4)])
+        first = ColumnStore.from_relation(relation)
+        second = ColumnStore.from_relation(relation)
+        first.columns[0][0] = 99
+        assert second.rows() == {(1, 2), (3, 4)}
+        assert relation.rows() == {(1, 2), (3, 4)}
+
+
+def normalized(matches):
+    return sorted((key, sorted(lefts), sorted(rights)) for key, lefts, rights in matches)
+
+
+class TestJoinPrimitives:
+    def brute_force(self, left, lcol, right, rcol):
+        expected = {}
+        for i in range(left.count):
+            for j in range(right.count):
+                if left.columns[lcol][i] == right.columns[rcol][j]:
+                    entry = expected.setdefault(left.columns[lcol][i], (set(), set()))
+                    entry[0].add(i)
+                    entry[1].add(j)
+        return sorted(
+            (key, sorted(lefts), sorted(rights)) for key, (lefts, rights) in expected.items()
+        )
+
+    def test_hash_merge_and_auto_agree_with_brute_force(self):
+        rng = random.Random(23)
+        for trial in range(10):
+            left = ColumnStore.from_relation(random_relation(rng, "l", 2, 30, ints=True))
+            right = ColumnStore.from_relation(random_relation(rng, "r", 2, 40, ints=True))
+            for lcol, rcol in ((0, 0), (0, 1), (1, 0)):
+                expected = self.brute_force(left, lcol, right, rcol)
+                assert normalized(batch_hash_join(left, lcol, right, rcol)) == expected
+                assert normalized(merge_join(left, lcol, right, rcol)) == expected
+                assert normalized(join(left, lcol, right, rcol)) == expected
+
+    def test_auto_join_prefers_merge_once_runs_are_cached(self):
+        left = ColumnStore.from_relation(Relation("l", 2, [(1, 2), (2, 3)]))
+        right = ColumnStore.from_relation(Relation("r", 2, [(2, 9), (3, 9)]))
+        assert not left.has_sorted_runs(0)
+        left.sorted_runs(0)
+        right.sorted_runs(0)
+        assert left.has_sorted_runs(0) and right.has_sorted_runs(0)
+        assert normalized(join(left, 0, right, 0)) == normalized(
+            merge_join(left, 0, right, 0)
+        )
+
+    def test_empty_inputs(self):
+        empty = ColumnStore.from_relation(Relation("e", 2))
+        full = ColumnStore.from_relation(Relation("f", 2, [(1, 2)]))
+        assert batch_hash_join(empty, 0, full, 0) == []
+        assert merge_join(full, 0, empty, 0) == []
+
+
+class TestCyclicity:
+    def test_triangle_is_cyclic(self):
+        assert is_cyclic([frozenset({X, Y}), frozenset({Y, Z}), frozenset({Z, X})])
+
+    def test_path_and_star_are_acyclic(self):
+        W = Variable("W")
+        assert not is_cyclic([frozenset({X, Y}), frozenset({Y, Z}), frozenset({Z, W})])
+        assert not is_cyclic([frozenset({X, Y}), frozenset({X, Z}), frozenset({X, W})])
+
+    def test_four_cycle_is_cyclic(self):
+        W = Variable("W")
+        assert is_cyclic(
+            [
+                frozenset({X, Y}),
+                frozenset({Y, Z}),
+                frozenset({Z, W}),
+                frozenset({W, X}),
+            ]
+        )
+
+    def test_single_edge_and_empty_are_acyclic(self):
+        assert not is_cyclic([frozenset({X, Y})])
+        assert not is_cyclic([])
+
+
+def triangle_rule() -> Rule:
+    return Rule(
+        Atom("tri", (X, Y, Z)),
+        (Atom("e", (X, Y)), Atom("e", (Y, Z)), Atom("e", (Z, X))),
+    )
+
+
+def triangle_relations(edges) -> dict:
+    return {"e": Relation("e", 2, edges)}
+
+
+class TestLeapfrogJoin:
+    def test_triangle_matches_binary_plans(self):
+        edges = set(random_graph(40, 220, seed=5))
+        edges |= {(b, a) for a, b in random_graph(40, 60, seed=6)}
+        relations = triangle_relations(edges)
+        plan = compile_rule(triangle_rule(), relations)
+        resolved = wcoj_eligible(plan, relations)
+        assert resolved is not None
+        direct = leapfrog_join(plan, resolved)
+        with columnar_mode(False):
+            reference = plan.evaluate(relations)
+        assert direct == reference
+        # the engine dispatches to the leapfrog join on its own when enabled
+        with columnar_mode(True):
+            assert plan.evaluate(relations) == reference
+
+    def test_triangle_examines_asymptotically_fewer_tuples(self):
+        # a star around hub 0: N spokes each way plus the closing edges; any
+        # binary plan materializes the Theta(N^2) spoke-pair intermediate,
+        # the leapfrog join touches O(N) candidates
+        growth = []
+        for n in (40, 80):
+            edges = {(0, i) for i in range(1, n)} | {(i, 0) for i in range(1, n)}
+            relations = triangle_relations(edges)
+            plan = compile_rule(triangle_rule(), relations)
+            resolved = wcoj_eligible(plan, relations)
+            assert resolved is not None
+            wcoj_stats = EvaluationStats()
+            binary_stats = EvaluationStats()
+            result = leapfrog_join(plan, resolved, wcoj_stats)
+            with columnar_mode(False):
+                assert plan.evaluate(relations, stats=binary_stats) == result
+            growth.append((wcoj_stats.tuples_examined, binary_stats.tuples_examined))
+        for wcoj_examined, binary_examined in growth:
+            assert wcoj_examined < binary_examined
+        # doubling N roughly quadruples the binary plan's work but only
+        # doubles the leapfrog join's
+        assert growth[1][0] <= growth[0][0] * 3
+        assert growth[1][1] >= growth[0][1] * 3
+
+    def test_acyclic_bodies_are_not_eligible(self):
+        W = Variable("W")
+        rule = Rule(
+            Atom("p", (X, W)),
+            (Atom("e", (X, Y)), Atom("e", (Y, Z)), Atom("e", (Z, W))),
+        )
+        relations = triangle_relations({(1, 2), (2, 3), (3, 4)})
+        plan = compile_rule(rule, relations)
+        assert wcoj_eligible(plan, relations) is None
+
+    def test_non_int_relations_are_not_eligible(self):
+        relations = {"e": Relation("e", 2, [("a", "b"), ("b", "c"), ("c", "a")])}
+        plan = compile_rule(triangle_rule(), relations)
+        assert wcoj_eligible(plan, relations) is None
+        # but evaluation still works (falls back to the binary plans)
+        with columnar_mode(True):
+            assert plan.evaluate(relations) == {("a", "b", "c"), ("b", "c", "a"), ("c", "a", "b")}
+
+
+class TestColumnarFlag:
+    def test_mode_states(self):
+        with columnar_mode(False):
+            assert not columnar_enabled()
+            assert not columnar_forced()
+        with columnar_mode(True):
+            assert columnar_enabled()
+            assert not columnar_forced()
+        with columnar_mode("force"):
+            assert columnar_enabled()
+            assert columnar_forced()
+
+    def test_set_override_and_restore(self):
+        baseline = columnar_enabled()
+        set_columnar_enabled(False)
+        try:
+            assert not columnar_enabled()
+        finally:
+            set_columnar_enabled(None)
+        assert columnar_enabled() == baseline
+
+
+def counters(stats: EvaluationStats) -> dict:
+    values = stats.as_dict()
+    values.pop("elapsed_seconds", None)
+    return values
+
+
+def evaluate_modes(program, database):
+    """Derived relations + counters under kernel, forced-columnar, adaptive."""
+    outcomes = {}
+    for label, columnar in (("kernel", False), ("forced", "force"), ("adaptive", True)):
+        stats = EvaluationStats()
+        with kernel_mode(True), interning_mode(True), columnar_mode(columnar):
+            derived = seminaive_evaluate(program, database, stats)
+        outcomes[label] = (
+            {name: relation.rows() for name, relation in derived.items()},
+            counters(stats),
+        )
+    return outcomes
+
+
+class TestWholeEvaluationParity:
+    workloads = [
+        ("transitive_closure", lambda: edge_database(layered_dag(4, 6, 3, seed=2))),
+        ("transitive_closure", lambda: edge_database(uniform_tree(2, 6))),
+        ("same_generation", lambda: same_generation_database(branching=2, depth=5)),
+        ("tc_with_permissions", lambda: permissions_database(layered_dag(4, 5, 2, seed=3))),
+        ("appendix_a_p", lambda: appendix_a_database(pairs=14, domain=9, seed=1)),
+        ("canonical_two_sided", lambda: edge_database(layered_dag(3, 5, 2, seed=4))),
+        ("example_3_5", lambda: edge_database(random_graph(14, 30, seed=5))),
+    ]
+
+    @pytest.mark.parametrize("name, database_factory", workloads)
+    def test_results_and_stats_identical_across_modes(self, name, database_factory):
+        program = ALL_CANONICAL[name]()
+        outcomes = evaluate_modes(program, database_factory())
+        kernel_rows, kernel_counters = outcomes["kernel"]
+        for label in ("forced", "adaptive"):
+            rows, totals = outcomes[label]
+            assert rows == kernel_rows, f"{name}: {label} derived relations drifted"
+            assert totals == kernel_counters, f"{name}: {label} counters drifted"
+
+    def test_generated_cases_agree(self):
+        for seed in range(6):
+            case = generate_case(seed)
+            outcomes = evaluate_modes(case.program, case.database)
+            kernel_rows, kernel_counters = outcomes["kernel"]
+            for label in ("forced", "adaptive"):
+                rows, totals = outcomes[label]
+                assert rows == kernel_rows, f"seed {seed}: {label} relations drifted"
+                assert totals == kernel_counters, f"seed {seed}: {label} counters drifted"
+
+    def test_interpreted_engine_agrees_with_forced_columnar(self):
+        program = ALL_CANONICAL["transitive_closure"]()
+        database = edge_database(layered_dag(4, 5, 2, seed=9))
+        interpreted_stats = EvaluationStats()
+        columnar_stats = EvaluationStats()
+        with kernel_mode(False), interning_mode(False), columnar_mode(False):
+            interpreted = seminaive_evaluate(program, database, interpreted_stats)
+        with kernel_mode(True), interning_mode(True), columnar_mode("force"):
+            columnar = seminaive_evaluate(program, database, columnar_stats)
+        assert {n: r.rows() for n, r in interpreted.items()} == {
+            n: r.rows() for n, r in columnar.items()
+        }
+        assert counters(interpreted_stats) == counters(columnar_stats)
