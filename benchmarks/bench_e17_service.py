@@ -73,13 +73,18 @@ def session_throughput(queries):
     return len(queries) / elapsed, answered
 
 
-def service_throughput(queries, clients: int):
-    """``clients`` threads splitting the same stream over one service."""
+def service_throughput(queries, clients: int, **service_kwargs):
+    """``clients`` threads splitting the same stream over one service.
+
+    ``service_kwargs`` pass through to :class:`DatalogService` (E20 reruns
+    this exact workload with a real metrics registry and tracer installed).
+    """
     with DatalogService(
         transitive_closure(),
         forest_database(),
         readers=clients,
         flush_policy=FlushPolicy(max_batch=32, max_delay_seconds=0.002),
+        **service_kwargs,
     ) as service:
         shares = [queries[index::clients] for index in range(clients)]
         answered = [0] * clients

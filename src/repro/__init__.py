@@ -75,6 +75,14 @@ from .optimize import (
     unfold_bounded,
 )
 from .incremental import MaterializedView, Session, ViewProvenance, ViewRegistry
+from .obs import (
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    ObservabilityServer,
+    Span,
+    Tracer,
+)
 from .service import (
     DatalogService,
     EpochCache,
@@ -101,7 +109,11 @@ __all__ = [
     "FlushError",
     "FlushPolicy",
     "MaterializedView",
+    "MetricsRegistry",
     "NotOneSidedError",
+    "NullRegistry",
+    "NullTracer",
+    "ObservabilityServer",
     "OneSidedSchema",
     "OptimizationResult",
     "Optimizer",
@@ -119,9 +131,11 @@ __all__ = [
     "ServiceSnapshot",
     "ServiceStats",
     "Session",
+    "Span",
     "StorageConfig",
     "StorageError",
     "StorageStats",
+    "Tracer",
     "UnfoldedDefinition",
     "Variable",
     "ViewProvenance",

@@ -16,6 +16,7 @@ peak size of the state the algorithm keeps between iterations.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -158,3 +159,97 @@ class EvaluationStats:
             f"lookups={self.lookups} (unrestricted={self.unrestricted_lookups}) "
             f"iterations={self.iterations} peak_state={self.peak_state_tuples}"
         )
+
+
+# ----------------------------------------------------------------------
+# the registry bridge: per-query stats -> repro_engine_* metric families
+# ----------------------------------------------------------------------
+class NullStatsBridge:
+    """The bridge when observability is off: ``record`` is one no-op call."""
+
+    null = True
+
+    def __init__(self) -> None:
+        #: an empty aggregate so ``/statusz`` consumers need no special case
+        self.totals = EvaluationStats()
+
+    def record(self, strategy: str, stats: "EvaluationStats") -> None:
+        pass
+
+
+class StatsBridge:
+    """Feeds per-query :class:`EvaluationStats` into ``repro_engine_*`` metrics.
+
+    One bridge owns the engine-side metric families of a registry: a query
+    counter plus ``tuples_examined``/``lookups`` histograms, each labeled by
+    the evaluation strategy that produced the stats (so a scrape shows the
+    paper's Property 1–3 cost profile per strategy, not one blurred total).
+    The bridge also keeps a merged :class:`EvaluationStats` aggregate, and a
+    registry collector mirrors its monotone totals into
+    ``repro_engine_*_total`` counters at scrape time — the exposition always
+    agrees with the in-process aggregate.
+
+    ``record`` is called once per answered query (and once per maintenance
+    round), never inside evaluation inner loops: instrumenting the engine at
+    the stats boundary keeps the hot fixpoints untouched.
+    """
+
+    null = False
+
+    #: log-spaced bounds for tuple/lookup *count* histograms (1 .. ~1M)
+    COUNT_BUCKETS = tuple(4.0**exponent for exponent in range(11))
+
+    def __init__(self, registry) -> None:
+        self.totals = EvaluationStats()
+        self._lock = threading.Lock()
+        self._queries = registry.counter(
+            "repro_engine_queries_total",
+            "Queries evaluated, by strategy (snapshot lookups, fallbacks, maintenance).",
+            labels=("strategy",),
+        )
+        self._examined = registry.histogram(
+            "repro_engine_tuples_examined",
+            "Tuples retrieved from stored relations per evaluation, by strategy.",
+            labels=("strategy",),
+            buckets=self.COUNT_BUCKETS,
+        )
+        self._lookups = registry.histogram(
+            "repro_engine_lookups",
+            "Index probes issued against stored relations per evaluation, by strategy.",
+            labels=("strategy",),
+            buckets=self.COUNT_BUCKETS,
+        )
+        registry.register_collector(self._collect)
+        self._counters = {
+            key: registry.counter(
+                f"repro_engine_{key}_total", f"Total {key.replace('_', ' ')} across evaluations."
+            )
+            for key in (
+                "tuples_examined",
+                "tuples_produced",
+                "lookups",
+                "unrestricted_lookups",
+                "iterations",
+            )
+        }
+
+    def record(self, strategy: str, stats: "EvaluationStats") -> None:
+        """Record one evaluation's stats under its strategy label."""
+        with self._lock:
+            self.totals.merge(stats)
+        self._queries.labels(strategy).inc()
+        self._examined.labels(strategy).observe(stats.tuples_examined)
+        self._lookups.labels(strategy).observe(stats.lookups)
+
+    def _collect(self) -> None:
+        with self._lock:
+            snapshot = self.totals.as_dict()
+        for key, counter in self._counters.items():
+            counter.set_total(snapshot[key])
+
+
+def stats_bridge(registry) -> "StatsBridge":
+    """The right bridge for ``registry`` (a no-op one for a NullRegistry)."""
+    if getattr(registry, "null", False):
+        return NullStatsBridge()
+    return StatsBridge(registry)

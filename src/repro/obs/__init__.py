@@ -1,0 +1,46 @@
+"""repro.obs — the stdlib-only observability layer.
+
+Three pieces, each usable alone:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` families with label
+  sets and a Prometheus text-format renderer (:data:`CONTENT_TYPE`);
+* :mod:`repro.obs.trace` — :class:`Tracer`, bounded-ring span tracing with
+  a slow-query log and JSONL export;
+* :mod:`repro.obs.exporter` — :class:`ObservabilityServer`, a
+  ``ThreadingHTTPServer`` exposing ``/metrics``, ``/healthz``, ``/statusz``.
+
+The :class:`NullRegistry`/:class:`NullTracer` pair is the default wiring
+everywhere: instrumented call sites cost a no-op method call until a real
+registry is installed (``DatalogService(metrics=...)`` or
+``service.serve_metrics(port)``).
+"""
+
+from .exporter import HealthReport, ObservabilityServer
+from .metrics import (
+    CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    exponential_buckets,
+    latency_buckets,
+)
+from .trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "HealthReport",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ObservabilityServer",
+    "Span",
+    "Tracer",
+    "exponential_buckets",
+    "latency_buckets",
+]

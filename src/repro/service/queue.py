@@ -253,6 +253,18 @@ class WriteQueue:
         with self._cond:
             return len(self._pending)
 
+    def oldest_age(self) -> float:
+        """Seconds the oldest pending ticket has waited (0.0 when empty).
+
+        The health-check signal: under a live flusher this never exceeds the
+        policy's latency deadline by much, so a large value means the flusher
+        is wedged and epochs have stopped advancing.
+        """
+        with self._cond:
+            if not self._pending:
+                return 0.0
+            return time.monotonic() - self._pending[0].enqueued_at
+
     def _ready(self) -> bool:
         if len(self._pending) >= self.policy.max_batch:
             return True

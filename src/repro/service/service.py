@@ -28,6 +28,7 @@ read-your-writes when they want it.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -37,13 +38,22 @@ from ..datalog.database import Database
 from ..datalog.errors import EvaluationError
 from ..datalog.relation import Row
 from ..datalog.rules import Program
-from ..engine.instrumentation import EvaluationStats
+from ..engine.instrumentation import EvaluationStats, stats_bridge
 from ..engine.query import QueryResult, SelectionQuery, answer, as_selection_query
 from ..incremental.session import RowsLike, Session, as_rows
+from ..obs import (
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    ObservabilityServer,
+    Tracer,
+)
 from ..storage import DurableStore, StorageConfig, StorageError
 from .cache import EpochCache
 from .queue import FlushPolicy, ServiceClosed, WriteQueue, WriteTicket, coalesce
 from .snapshot import ServiceSnapshot, take_snapshot
+
+_now = time.perf_counter
 
 
 @dataclass
@@ -72,6 +82,11 @@ class ServiceStats:
     barriers: int = 0
     #: snapshot publications (epoch advances observed by readers)
     epochs_published: int = 0
+    #: writes waiting on the queue right now (gauge; filled when the service
+    #: copies its stats out, so operators see flusher backlog)
+    queue_depth: int = 0
+    #: entries currently held by the epoch cache (gauge; ditto)
+    cache_entries: int = 0
 
     def coalescing_factor(self) -> float:
         """Average writes amortized per flush (> 1.0 means coalescing paid off)."""
@@ -95,6 +110,8 @@ class ServiceStats:
             "maintenance_rounds": self.maintenance_rounds,
             "barriers": self.barriers,
             "epochs_published": self.epochs_published,
+            "queue_depth": self.queue_depth,
+            "cache_entries": self.cache_entries,
             "coalescing_factor": round(self.coalescing_factor(), 3),
             "cache_hit_rate": round(self.cache_hit_rate(), 3),
         }
@@ -103,7 +120,8 @@ class ServiceStats:
         return (
             f"queries={self.queries_served} (hits={self.cache_hits}) "
             f"writes={self.writes_applied}/{self.flushes} flushes "
-            f"rounds={self.maintenance_rounds} epochs={self.epochs_published}"
+            f"rounds={self.maintenance_rounds} epochs={self.epochs_published} "
+            f"queue={self.queue_depth} cache={self.cache_entries}"
         )
 
 
@@ -150,7 +168,11 @@ class DatalogService:
         max_unfold_depth: int = 8,
         storage: Optional[Union[DurableStore, str, Path]] = None,
         storage_config: Optional[StorageConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        registry = metrics if metrics is not None else NullRegistry()
+        trace = tracer if tracer is not None else NullTracer()
         store: Optional[DurableStore] = None
         recovered = None
         if storage is not None:
@@ -159,6 +181,8 @@ class DatalogService:
                 if isinstance(storage, DurableStore)
                 else DurableStore(storage, storage_config)
             )
+            # instrument before recovery so the recovery replay is traced
+            store.instrument(registry, trace)
             if store.has_state():
                 if database is not None:
                     raise StorageError(
@@ -203,6 +227,8 @@ class DatalogService:
         self._snapshot = take_snapshot(self.session)
         self.cache.advance(self._snapshot.epoch, set())
         self._closed = False
+        self._obs_server: Optional[ObservabilityServer] = None
+        self._install_observability(registry, trace)
         self._readers = ThreadPoolExecutor(
             max_workers=max(1, readers), thread_name_prefix="repro-reader"
         )
@@ -228,6 +254,166 @@ class DatalogService:
         requires ``program`` and writes its genesis snapshot immediately.
         """
         return cls(program, storage=path, storage_config=storage_config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _install_observability(self, registry, tracer) -> None:
+        """Create every instrument the hot paths touch, against ``registry``.
+
+        Called at construction with the :class:`~repro.obs.NullRegistry` /
+        :class:`~repro.obs.NullTracer` pair (the free default) or the
+        caller's real pair, and again by :meth:`serve_metrics` when it
+        upgrades a null service in place.  Latency histograms record inline;
+        the pinned :class:`ServiceStats` counters are mirrored by a scrape-time
+        collector, so ``/metrics`` always agrees with ``stats.as_dict()``.
+        """
+        self.metrics = registry
+        self.tracer = tracer
+        self._engine_bridge = stats_bridge(registry)
+        query_seconds = registry.histogram(
+            "repro_service_query_seconds",
+            "Query latency through DatalogService, by answering outcome.",
+            labels=("outcome",),
+        )
+        # children resolve once, here, down to the bound observe method —
+        # the hot path is one dict probe and one call
+        self._query_seconds = {
+            outcome: query_seconds.labels(outcome).observe
+            for outcome in ("cache_hit", "snapshot_lookup", "fallback")
+        }
+        self._flush_seconds = registry.histogram(
+            "repro_service_flush_seconds",
+            "Latency of one coalesced flush (maintenance + WAL + publication).",
+        )
+        self._publish_seconds = registry.histogram(
+            "repro_service_publish_seconds",
+            "Latency of snapshot publication (freeze + cache advance + swap).",
+        )
+        self._service_counters = {
+            key: registry.counter(
+                f"repro_service_{key}_total",
+                f"Total {key.replace('_', ' ')} (see ServiceStats.{key}).",
+            )
+            for key in (
+                "queries_served",
+                "cache_hits",
+                "cache_misses",
+                "snapshot_lookups",
+                "fallback_evaluations",
+                "writes_enqueued",
+                "writes_applied",
+                "flushes",
+                "maintenance_rounds",
+                "barriers",
+                "epochs_published",
+            )
+        }
+        self._service_gauges = {
+            key: registry.gauge(
+                f"repro_service_{key}",
+                f"Current {key.replace('_', ' ')} (see ServiceStats.{key}).",
+            )
+            for key in ("queue_depth", "cache_entries", "coalescing_factor", "cache_hit_rate")
+        }
+        self._epoch_gauge = registry.gauge(
+            "repro_service_epoch", "The epoch readers are currently served from."
+        )
+        registry.register_collector(self._collect_service_metrics)
+        if self.storage is not None:
+            self.storage.instrument(registry, tracer)
+
+    def _collect_service_metrics(self) -> None:
+        """Scrape-time bridge: pinned ServiceStats -> repro_service_* values."""
+        snapshot = self.stats.as_dict()
+        for key, counter in self._service_counters.items():
+            counter.set_total(snapshot[key])
+        for key, gauge in self._service_gauges.items():
+            gauge.set(snapshot[key])
+        self._epoch_gauge.set(self.epoch)
+
+    def serve_metrics(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> ObservabilityServer:
+        """Expose ``/metrics``, ``/healthz`` and ``/statusz`` over HTTP.
+
+        Starts a daemonized :class:`~repro.obs.ObservabilityServer` (pass
+        ``port=0`` for an ephemeral port; read it back from the returned
+        server's ``.port``).  A service constructed without a real registry
+        is upgraded in place — ``serve_metrics`` *is* the opt-in — and the
+        call is idempotent: a second call returns the running server.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if self._obs_server is not None:
+            return self._obs_server
+        if getattr(self.metrics, "null", False):
+            tracer = self.tracer if not getattr(self.tracer, "null", False) else Tracer()
+            self._install_observability(MetricsRegistry(), tracer)
+        self._obs_server = ObservabilityServer(
+            self.metrics,
+            health=self._health_checks,
+            status=self._status_report,
+            host=host,
+            port=port,
+        )
+        return self._obs_server
+
+    def _health_checks(self) -> Dict[str, Tuple[bool, str]]:
+        """The ``/healthz`` probes: flusher alive, storage sound, epochs moving."""
+        checks: Dict[str, Tuple[bool, str]] = {}
+        alive = not self._closed and self._flusher.is_alive()
+        checks["flusher_alive"] = (
+            alive,
+            "flusher thread is running" if alive else "flusher thread is not running",
+        )
+        if self.storage is None:
+            checks["storage"] = (True, "in-memory service (no durable store)")
+        else:
+            failed = self._storage_failed
+            checks["storage"] = (
+                failed is None,
+                "durable store is healthy" if failed is None else f"storage poisoned: {failed}",
+            )
+        # "epochs advancing" operationally: no pending write may sit on the
+        # queue far past the flush deadline — that is a wedged flusher, which
+        # is exactly the state where published epochs stop moving
+        age = self.queue.oldest_age()
+        deadline = self.queue.policy.max_delay_seconds
+        allowed = max(1.0, deadline * 50)
+        checks["epoch_advancing"] = (
+            age <= allowed,
+            f"oldest pending write has waited {age:.3f}s "
+            f"(flush deadline {deadline}s, epoch {self.epoch})",
+        )
+        return checks
+
+    def _status_report(self) -> Dict[str, object]:
+        """The ``/statusz`` payload: the three stats dicts + epoch + flags."""
+        from ..engine.columnar import COLUMNAR_FLAG
+        from ..engine.domain import INTERN_FLAG
+        from ..engine.kernels import KERNELS_FLAG
+
+        storage_stats = self.storage_stats
+        threshold = self.tracer.slow_threshold_seconds
+        return {
+            "epoch": self.epoch,
+            "closed": self._closed,
+            "service": self.stats.as_dict(),
+            "storage": storage_stats.as_dict() if storage_stats is not None else None,
+            "engine": self._engine_bridge.totals.as_dict(),
+            "flags": {
+                flag.env_var: flag.state()
+                for flag in (KERNELS_FLAG, INTERN_FLAG, COLUMNAR_FLAG)
+            },
+            "tracing": {
+                "spans_recorded": self.tracer.spans_recorded,
+                "slow_spans_recorded": self.tracer.slow_spans_recorded,
+                "slow_threshold_seconds": (
+                    None if threshold == float("inf") else threshold
+                ),
+            },
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -257,6 +443,8 @@ class DatalogService:
         try:
             self._readers.shutdown(wait=True)
         finally:
+            if self._obs_server is not None:
+                self._obs_server.close()
             if self.storage is not None:
                 self.storage.close()
         if stuck:
@@ -336,9 +524,17 @@ class DatalogService:
 
     @property
     def stats(self) -> ServiceStats:
-        """A point-in-time copy of the service counters."""
+        """A point-in-time copy of the service counters.
+
+        The copy also carries the two operational gauges — current queue
+        depth and epoch-cache entry count — which live in the queue/cache
+        objects, not the counter block, and are sampled here.
+        """
         with self._stats_lock:
-            return replace(self._stats)
+            copied = replace(self._stats)
+        copied.queue_depth = self.queue.pending()
+        copied.cache_entries = len(self.cache)
+        return copied
 
     @property
     def storage_stats(self):
@@ -358,6 +554,7 @@ class DatalogService:
     # internals: answering
     # ------------------------------------------------------------------
     def _answer(self, snapshot: ServiceSnapshot, selection: SelectionQuery) -> ServiceResult:
+        started = _now()
         cached = self.cache.get(snapshot.epoch, selection)
         if cached is not None:
             result = QueryResult(
@@ -370,6 +567,7 @@ class DatalogService:
             with self._stats_lock:
                 self._stats.queries_served += 1
                 self._stats.cache_hits += 1
+            self._observe_query("cache_hit", selection, started)
             return ServiceResult(result, snapshot.epoch, snapshot, cached=True)
 
         relation = snapshot.views.get(selection.predicate)
@@ -394,8 +592,10 @@ class DatalogService:
             stats.stop_timer()
             result = QueryResult(selection, set(rows), stats, strategy=strategy, provenance=provenance)
             kind = "snapshot_lookups"
+            engine_strategy = "snapshot-lookup"
         else:
             result = answer(self.session.program, snapshot.as_database(), selection)
+            engine_strategy = result.strategy.split(" ", 1)[0]
             result.strategy = f"{result.strategy} @snapshot {snapshot.epoch}"
             kind = "fallback_evaluations"
 
@@ -404,7 +604,31 @@ class DatalogService:
             self._stats.queries_served += 1
             self._stats.cache_misses += 1
             setattr(self._stats, kind, getattr(self._stats, kind) + 1)
+        self._engine_bridge.record(engine_strategy, result.stats)
+        self._observe_query(
+            "snapshot_lookup" if kind == "snapshot_lookups" else "fallback",
+            selection,
+            started,
+        )
         return ServiceResult(result, snapshot.epoch, snapshot)
+
+    def _observe_query(self, outcome: str, selection: SelectionQuery, started: float) -> None:
+        """Record one answered query's latency (and maybe a slow-query span).
+
+        With observability off both calls are no-ops; the span is only
+        materialized when the latency clears the tracer's slow threshold, so
+        the fast path never allocates one.
+        """
+        elapsed = _now() - started
+        self._query_seconds[outcome](elapsed)
+        if elapsed >= self.tracer.slow_threshold_seconds:
+            self.tracer.record(
+                "slow_query",
+                elapsed,
+                predicate=selection.predicate,
+                outcome=outcome,
+                epoch=self.epoch,
+            )
 
     # ------------------------------------------------------------------
     # internals: flushing
@@ -434,6 +658,10 @@ class DatalogService:
         """
         writes = [ticket for ticket in batch if not ticket.is_barrier]
         registry = self.session.registry
+        flush_started = _now()
+        publish_elapsed = None
+        span = self.tracer.span("flush", tickets=len(batch), writes=len(writes))
+        span.__enter__()
         try:
             if self._storage_failed is not None:
                 raise StorageError(
@@ -464,10 +692,13 @@ class DatalogService:
                     failure = exc
                 epoch = registry.epoch
                 rounds = epoch - epoch_before
+                if rounds:
+                    self._engine_bridge.record("maintenance", registry.last_stats)
                 if rounds and self.storage is not None:
                     self._log_applied(epoch, applied)
                 published = None
                 touched: Set[str] = set()
+                publish_started = _now()
                 if failure is None and epoch != self._snapshot.epoch:
                     _collected, touched = registry.collect_touched()
                     published = take_snapshot(self.session)
@@ -479,6 +710,7 @@ class DatalogService:
                 # old epoch — never a new-epoch hit on stale answers
                 self.cache.advance(epoch, touched)
                 self._snapshot = published
+                publish_elapsed = _now() - publish_started
             with self._stats_lock:
                 if writes:
                     self._stats.flushes += 1
@@ -487,11 +719,19 @@ class DatalogService:
                 if published is not None:
                     self._stats.epochs_published += 1
             self._maybe_compact(epoch)
+            span.annotate(epoch=epoch, rounds=rounds, published=published is not None)
             for ticket in batch:
                 ticket.resolve(epoch=epoch)
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiting clients
+            span.annotate(error=repr(exc))
             for ticket in batch:
                 ticket.resolve(error=exc)
+        finally:
+            span.__exit__(None, None, None)
+            if writes:
+                self._flush_seconds.observe(_now() - flush_started)
+            if publish_elapsed is not None:
+                self._publish_seconds.observe(publish_elapsed)
 
     def _log_applied(
         self, epoch: int, applied: List[Tuple[str, str, Tuple[Row, ...]]]

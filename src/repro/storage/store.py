@@ -25,6 +25,7 @@ harness kill the store at seeded append ordinals.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -33,6 +34,8 @@ from ..datalog.database import Database
 from ..datalog.relation import Relation, Row
 from ..engine.domain import Domain
 from ..engine.packing import pack_rows
+from ..obs.metrics import NullRegistry
+from ..obs.trace import NullTracer
 from .errors import SimulatedCrash, StorageError
 from .format import OP_DELETE, OP_INSERT, RECORD_BATCH, Reader, Writer
 from .snapshot import load_latest_snapshot, write_snapshot
@@ -76,6 +79,11 @@ class StorageStats:
     compactions: int = 0
     #: WAL records applied by the last ``recover``/``replay_into``
     records_replayed: int = 0
+    #: WAL segment files currently on disk (compaction pressure, gauge-like:
+    #: refreshed whenever the store touches the log)
+    wal_segments: int = 0
+    #: bytes written to the active segment so far (ditto)
+    active_segment_bytes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -84,6 +92,8 @@ class StorageStats:
             "rows_logged": self.rows_logged,
             "compactions": self.compactions,
             "records_replayed": self.records_replayed,
+            "wal_segments": self.wal_segments,
+            "active_segment_bytes": self.active_segment_bytes,
         }
 
 
@@ -127,6 +137,79 @@ class DurableStore:
         self.crash_before_append: Optional[int] = None
         self.crash_after_append: Optional[int] = None
         self._append_attempts = 0
+        # observability defaults to the free no-op pair; the serving layer
+        # swaps in its real registry/tracer via ``instrument``
+        self.instrument(NullRegistry(), NullTracer())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def instrument(self, registry, tracer=None) -> None:
+        """Install ``repro_storage_*`` metrics and a tracer on this store.
+
+        Latency histograms (append / fsync / compaction) record inline; the
+        pinned :class:`StorageStats` counters are mirrored at scrape time by
+        a registry collector, so the exposition always agrees with
+        ``stats.as_dict()``.  Passing a :class:`~repro.obs.NullRegistry`
+        (the construction default) makes every instrument a shared no-op.
+
+        Idempotent per registry: re-instrumenting against the registry that
+        is already installed only refreshes the tracer (the serving layer
+        instruments once before recovery — so recovery spans are traced —
+        and again when it wires the rest of its metrics).
+        """
+        self._tracer = tracer if tracer is not None else NullTracer()
+        if getattr(self, "_registry", None) is registry:
+            return
+        self._registry = registry
+        self._append_seconds = registry.histogram(
+            "repro_storage_append_seconds",
+            "WAL append latency (frame write + flush + fsync), seconds.",
+        )
+        self._compaction_seconds = registry.histogram(
+            "repro_storage_compaction_seconds",
+            "Snapshot compaction latency (covering snapshot + WAL reset), seconds.",
+        )
+        fsync_seconds = registry.histogram(
+            "repro_storage_fsync_seconds",
+            "Append-path fsync latency, seconds.",
+        )
+        self.wal.observe_fsync = (
+            None if getattr(registry, "null", False) else fsync_seconds.observe
+        )
+        self._stat_counters = {
+            key: registry.counter(
+                f"repro_storage_{key}_total",
+                f"Total {key.replace('_', ' ')} (see StorageStats.{key}).",
+            )
+            for key in ("records_appended", "bytes_appended", "rows_logged", "compactions")
+        }
+        self._stat_gauges = {
+            key: registry.gauge(
+                f"repro_storage_{key}",
+                f"Current {key.replace('_', ' ')} (see StorageStats.{key}).",
+            )
+            for key in ("records_replayed", "wal_segments", "active_segment_bytes")
+        }
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        snapshot = self.stats.as_dict()
+        for key, counter in self._stat_counters.items():
+            counter.set_total(snapshot[key])
+        for key, gauge in self._stat_gauges.items():
+            gauge.set(snapshot[key])
+
+    def _refresh_wal_stats(self, *, scan: bool = False) -> None:
+        """Keep the compaction-pressure fields current.
+
+        ``scan`` re-counts segment files (directory I/O — only worth it when
+        segments were created or deleted); the active-segment size is a
+        plain file-position read and refreshes every time.
+        """
+        if scan:
+            self.stats.wal_segments = self.wal.segment_count()
+        self.stats.active_segment_bytes = self.wal.active_segment_bytes()
 
     # ------------------------------------------------------------------
     # state probes
@@ -177,7 +260,9 @@ class DurableStore:
             database.add_relation(
                 Relation.from_packed_rows(name, arity, count, packed, decode)
             )
-        epoch, replayed = self.replay_into(database, snapshot.epoch)
+        with self._tracer.span("recover", snapshot_epoch=snapshot.epoch) as span:
+            epoch, replayed = self.replay_into(database, snapshot.epoch)
+            span.annotate(epoch=epoch, records_replayed=replayed)
         self._program_text = snapshot.program_text
         return RecoveredState(
             database=database,
@@ -285,6 +370,7 @@ class DurableStore:
         self.wal.start_segment(epoch)
         self._records_since_compact = replayed_records
         self._attached = True
+        self._refresh_wal_stats(scan=True)
 
     # ------------------------------------------------------------------
     # logging
@@ -326,14 +412,17 @@ class DurableStore:
             writer.text(name)
             writer.u32(arity)
             writer.rows(arity, count, packed)
+        started = time.perf_counter()
         try:
             written = self.wal.append(writer.getvalue())
         except BaseException as exc:  # noqa: BLE001 - a failed append kills the store
             self._die(StorageError(f"WAL append failed: {exc}"))
+        self._append_seconds.observe(time.perf_counter() - started)
         self.stats.records_appended += 1
         self.stats.bytes_appended += written
         self.stats.rows_logged += rows_logged
         self._records_since_compact += 1
+        self._refresh_wal_stats()
         if self.crash_after_append == ordinal:
             self._die(SimulatedCrash(f"simulated crash after WAL append #{ordinal}"))
 
@@ -353,15 +442,19 @@ class DurableStore:
         if not self._attached:
             raise StorageError("store is not attached to a service")
         self._ensure_alive()
-        try:
-            path = self._write_snapshot(epoch, relations)
-            self.wal.reset(epoch)
-        except BaseException as exc:  # noqa: BLE001 - a failed compaction kills the store
-            if isinstance(exc, StorageError):
-                self._die(exc)
-            self._die(StorageError(f"compaction failed: {exc}"))
+        started = time.perf_counter()
+        with self._tracer.span("compaction", epoch=epoch):
+            try:
+                path = self._write_snapshot(epoch, relations)
+                self.wal.reset(epoch)
+            except BaseException as exc:  # noqa: BLE001 - a failed compaction kills the store
+                if isinstance(exc, StorageError):
+                    self._die(exc)
+                self._die(StorageError(f"compaction failed: {exc}"))
+        self._compaction_seconds.observe(time.perf_counter() - started)
         self._records_since_compact = 0
         self.stats.compactions += 1
+        self._refresh_wal_stats(scan=True)
         return path
 
     def _write_snapshot(self, epoch: int, relations: Iterable[Relation]) -> Path:

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from pathlib import Path
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from .errors import StorageError
 from .format import (
@@ -105,6 +106,10 @@ class WriteAheadLog:
         self.fsync = fsync
         self._handle = None
         self._active: Optional[Path] = None
+        #: observability hook: called with each append-path fsync's duration
+        #: in seconds (installed by ``DurableStore.instrument``; ``None`` —
+        #: the default — costs one attribute check per append)
+        self.observe_fsync: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # writing
@@ -144,7 +149,12 @@ class WriteAheadLog:
         self._handle.write(data)
         self._handle.flush()
         if self.fsync:
-            os.fsync(self._handle.fileno())
+            if self.observe_fsync is not None:
+                started = time.perf_counter()
+                os.fsync(self._handle.fileno())
+                self.observe_fsync(time.perf_counter() - started)
+            else:
+                os.fsync(self._handle.fileno())
         return len(data)
 
     def reset(self, epoch: int) -> None:
@@ -168,6 +178,19 @@ class WriteAheadLog:
             self._handle.close()
             self._handle = None
             self._active = None
+
+    # ------------------------------------------------------------------
+    # introspection (compaction-pressure observability)
+    # ------------------------------------------------------------------
+    def segment_count(self) -> int:
+        """How many segment files the directory currently holds."""
+        return len(segment_files(self.directory))
+
+    def active_segment_bytes(self) -> int:
+        """Bytes written to the active segment so far (0 with none open)."""
+        if self._handle is None:
+            return 0
+        return self._handle.tell()
 
     # ------------------------------------------------------------------
     # reading

@@ -1,0 +1,297 @@
+"""Unit tests for the metrics registry (repro.obs.metrics).
+
+Covers the registry/family/child API, the Prometheus text exposition
+format's conformance corners (HELP/TYPE lines, label escaping, histogram
+``_bucket``/``_sum``/``_count`` invariants) and — the part that actually
+bites in a serving layer — concurrent writers hammering counters and
+histograms while a scraper renders: totals must come out exact, successive
+scrapes must be monotone, and no scrape may ever show a torn histogram
+(``_count`` != its ``+Inf`` bucket).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    NullRegistry,
+    escape_label_value,
+    exponential_buckets,
+    format_value,
+    latency_buckets,
+)
+
+
+def parse_samples(text):
+    """exposition text -> {(name, frozenset(label pairs)): float}."""
+    samples = {}
+    pattern = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$')
+    label_pattern = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = pattern.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, _, body, value = match.groups()
+        labels = frozenset(label_pattern.findall(body)) if body else frozenset()
+        samples[(name, labels)] = float(value)
+    return samples
+
+
+# ----------------------------------------------------------------------
+# families and children
+# ----------------------------------------------------------------------
+class TestFamilies:
+    def test_counter_is_monotone(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_total_clamps_backwards_motion(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("bridged_total", "Bridged.")
+        counter.set_total(10)
+        counter.set_total(7)  # a stale collector read never rewinds
+        assert counter.value == 10
+
+    def test_gauge_set_inc_dec_and_callback(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+        gauge.set_function(lambda: 42)
+        assert gauge.value == 42
+
+    def test_labels_resolve_to_stable_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("by_kind_total", "By kind.", labels=("kind",))
+        a = family.labels("read")
+        assert family.labels(kind="read") is a
+        family.labels("write").inc()
+        a.inc(2)
+        assert registry.sample_value("by_kind_total", {"kind": "read"}) == 2
+        assert registry.sample_value("by_kind_total", {"kind": "write"}) == 1
+
+    def test_labeled_family_rejects_bare_increments_and_bad_labels(self):
+        registry = MetricsRegistry()
+        family = registry.counter("by_kind_total", "By kind.", labels=("kind",))
+        with pytest.raises(ValueError):
+            family.inc()
+        with pytest.raises(ValueError):
+            family.labels()
+        with pytest.raises(ValueError):
+            family.labels(nope="x")
+        with pytest.raises(ValueError):
+            registry.counter("bad name", "nope")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "ok", labels=("bad-label",))
+
+    def test_reregistration_returns_the_same_family_or_raises(self):
+        registry = MetricsRegistry()
+        first = registry.counter("again_total", "Again.")
+        assert registry.counter("again_total", "Again.") is first
+        with pytest.raises(ValueError):
+            registry.gauge("again_total", "A different kind.")
+        with pytest.raises(ValueError):
+            registry.counter("again_total", "Different labels.", labels=("x",))
+
+    def test_histogram_buckets_are_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h1", "h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", "h", buckets=(2.0, 1.0))
+        hist = registry.histogram("h3", "h", buckets=(1.0, 2.0, float("inf")))
+        assert hist.buckets == (1.0, 2.0)  # +Inf is implicit
+
+    def test_default_latency_buckets_are_log_spaced(self):
+        bounds = latency_buckets()
+        assert bounds[0] == pytest.approx(1e-5)
+        assert bounds[-1] == 10.0
+        assert list(bounds) == sorted(bounds)
+        assert exponential_buckets(1, 4, 3) == (1, 4, 16)
+
+
+# ----------------------------------------------------------------------
+# exposition-format conformance
+# ----------------------------------------------------------------------
+class TestExposition:
+    def test_content_type_pins_format_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+        assert CONTENT_TYPE.startswith("text/plain")
+
+    def test_help_and_type_lines_precede_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "A counter.").inc()
+        registry.gauge("g", "A gauge.").set(1)
+        registry.histogram("h_seconds", "A histogram.", buckets=(1.0,)).observe(0.5)
+        lines = registry.render().splitlines()
+        for name, kind in (("c_total", "counter"), ("g", "gauge"), ("h_seconds", "histogram")):
+            help_at = lines.index(f"# HELP {name} A {kind}.")
+            assert lines[help_at + 1] == f"# TYPE {name} {kind}"
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("esc_total", "Escapes.", labels=("path",))
+        family.labels('a"b\\c\nd').inc()
+        rendered = registry.render()
+        assert 'path="a\\"b\\\\c\\nd"' in rendered
+        assert escape_label_value('"') == '\\"'
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("h_total", "line one\nline two \\ slash")
+        assert "# HELP h_total line one\\nline two \\\\ slash" in registry.render()
+
+    def test_value_formatting(self):
+        assert format_value(5.0) == "5"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_histogram_bucket_sum_count_invariants(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 2.0, 100.0):
+            hist.observe(value)
+        samples = parse_samples(registry.render())
+        bucket = lambda le: samples[("lat_seconds_bucket", frozenset({("le", le)}))]
+        # le="0.1" includes the exact-boundary observation (le semantics)
+        assert bucket("0.1") == 2
+        assert bucket("1") == 3
+        assert bucket("10") == 4
+        assert bucket("+Inf") == 5
+        # cumulative and consistent with _count / _sum
+        assert bucket("0.1") <= bucket("1") <= bucket("10") <= bucket("+Inf")
+        assert samples[("lat_seconds_count", frozenset())] == bucket("+Inf")
+        assert samples[("lat_seconds_sum", frozenset())] == pytest.approx(102.65)
+
+    def test_families_without_samples_still_expose_metadata(self):
+        registry = MetricsRegistry()
+        registry.counter("empty_total", "No labels resolved yet.", labels=("k",))
+        rendered = registry.render()
+        assert "# HELP empty_total" in rendered
+        assert "# TYPE empty_total counter" in rendered
+        assert ("empty_total{" not in rendered)
+
+    def test_collectors_run_per_render(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pulled_total", "Pulled from stats.")
+        source = {"value": 0}
+        registry.register_collector(lambda: counter.set_total(source["value"]))
+        source["value"] = 9
+        assert parse_samples(registry.render())[("pulled_total", frozenset())] == 9
+        source["value"] = 12
+        assert registry.sample_value("pulled_total") == 12
+
+
+# ----------------------------------------------------------------------
+# concurrency: writers vs a scraper
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    WRITERS = 8
+    ITERATIONS = 2000
+
+    def test_hammered_counters_and_histograms_stay_exact_and_untorn(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.", labels=("worker",))
+        hist = registry.histogram("size", "Sizes.", buckets=(1.0, 10.0, 100.0))
+        start = threading.Barrier(self.WRITERS + 1)
+        scrapes = []
+        stop = threading.Event()
+
+        def write(index):
+            child = counter.labels(str(index % 2))  # contend on shared children
+            start.wait()
+            for step in range(self.ITERATIONS):
+                child.inc()
+                hist.observe(float(step % 150))
+
+        def scrape():
+            start.wait()
+            while not stop.is_set():
+                scrapes.append(parse_samples(registry.render()))
+
+        writers = [
+            threading.Thread(target=write, args=(index,)) for index in range(self.WRITERS)
+        ]
+        scraper = threading.Thread(target=scrape)
+        for thread in writers + [scraper]:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        scraper.join()
+
+        # final totals are exact: no lost increments, no double counts
+        total = self.WRITERS * self.ITERATIONS
+        assert registry.sample_value("ops_total", {"worker": "0"}) == total / 2
+        assert registry.sample_value("ops_total", {"worker": "1"}) == total / 2
+        assert registry.sample_value("size_count") == total
+        assert scrapes, "the scraper never got a render in"
+        # every scrape is internally consistent and monotone vs the previous
+        previous = None
+        for samples in scrapes:
+            count = samples.get(("size_count", frozenset()))
+            if count is not None:
+                inf_bucket = samples[("size_bucket", frozenset({("le", "+Inf")}))]
+                assert count == inf_bucket, "torn histogram: _count != +Inf bucket"
+                running = 0.0
+                for le in ("1", "10", "100", "+Inf"):
+                    value = samples[("size_bucket", frozenset({("le", le)}))]
+                    assert value >= running, "bucket counts must be cumulative"
+                    running = value
+            if previous is not None:
+                for key, value in samples.items():
+                    if key[0] in ("ops_total", "size_count"):
+                        assert value >= previous.get(key, 0.0), f"{key} went backwards"
+            previous = samples
+
+    def test_children_created_under_scrape_pressure(self):
+        registry = MetricsRegistry()
+        family = registry.counter("spawn_total", "Spawned.", labels=("k",))
+        done = threading.Event()
+
+        def spawn():
+            for index in range(500):
+                family.labels(str(index)).inc()
+            done.set()
+
+        thread = threading.Thread(target=spawn)
+        thread.start()
+        while not done.is_set():
+            registry.render()
+        thread.join()
+        samples = parse_samples(registry.render())
+        assert len([key for key in samples if key[0] == "spawn_total"]) == 500
+
+
+# ----------------------------------------------------------------------
+# the null registry
+# ----------------------------------------------------------------------
+class TestNullRegistry:
+    def test_api_parity_at_zero_cost(self):
+        registry = NullRegistry()
+        assert registry.null and not MetricsRegistry.null
+        counter = registry.counter("x_total", "x", labels=("k",))
+        counter.inc()
+        counter.labels("anything").inc(5)
+        registry.gauge("g", "g").set(3)
+        hist = registry.histogram("h", "h")
+        hist.observe(1.0)
+        registry.register_collector(lambda: pytest.fail("collectors never run"))
+        assert registry.render() == ""
+        assert registry.sample_value("x_total") is None
+        assert counter.value == 0 and hist.count == 0

@@ -1,0 +1,166 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import NullTracer, Span, Tracer
+
+
+class TestSpans:
+    def test_span_context_records_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("flush", rows=42):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "flush"
+        assert span.attributes == {"rows": 42}
+        assert span.duration >= 0
+        assert span.started_at > 0
+        assert tracer.spans_recorded == 1
+
+    def test_annotate_attaches_mid_span_attributes(self):
+        tracer = Tracer()
+        with tracer.span("flush", tickets=3) as span:
+            span.annotate(epoch=7, published=("t",))
+        (span,) = tracer.spans()
+        assert span.attributes == {"tickets": 3, "epoch": 7, "published": ("t",)}
+
+    def test_exceptions_still_record_the_span_tagged_with_the_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("flush"):
+                raise RuntimeError("disk on fire")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "RuntimeError('disk on fire')"
+
+    def test_ring_buffer_is_bounded_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            tracer.record("op", 0.0, index=index)
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert [span.attributes["index"] for span in spans] == [6, 7, 8, 9]
+        assert tracer.spans_recorded == 10
+        assert tracer.dropped() == 6
+
+    def test_spans_filter_by_name(self):
+        tracer = Tracer()
+        tracer.record("flush", 0.0)
+        tracer.record("compaction", 0.0)
+        tracer.record("flush", 0.0)
+        assert len(tracer.spans("flush")) == 2
+        assert len(tracer.spans("compaction")) == 1
+        assert len(tracer.spans()) == 3
+
+    def test_span_str_is_human_readable(self):
+        span = Span("flush", 0.0, 0.0015, {"rows": 3})
+        assert str(span) == "span flush 1.500ms [rows=3]"
+
+
+class TestSlowLog:
+    def test_slow_spans_clear_the_threshold(self):
+        tracer = Tracer(slow_threshold_seconds=0.05)
+        tracer.record("query", 0.01)
+        tracer.record("query", 0.05)  # >= threshold counts
+        tracer.record("query", 0.50)
+        slow = tracer.slow_spans()
+        assert [span.duration for span in slow] == [0.05, 0.50]
+        assert tracer.slow_spans_recorded == 2
+        assert tracer.spans_recorded == 3
+
+    def test_slow_log_survives_a_burst_of_fast_spans(self):
+        tracer = Tracer(capacity=8, slow_threshold_seconds=0.1, slow_capacity=4)
+        tracer.record("query", 1.0)
+        for _ in range(100):
+            tracer.record("query", 0.0)
+        assert len(tracer.spans()) == 8  # the slow span fell off the main ring
+        assert [span.duration for span in tracer.slow_spans()] == [1.0]
+
+    def test_record_returns_the_span_for_further_inspection(self):
+        tracer = Tracer()
+        span = tracer.record("slow_query", 0.2, predicate="t")
+        assert span.name == "slow_query"
+        assert span.attributes == {"predicate": "t"}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(slow_capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(slow_threshold_seconds=-1.0)
+
+
+class TestExport:
+    def test_jsonl_round_trip_via_file_object(self):
+        tracer = Tracer()
+        tracer.record("flush", 0.002, epoch=1)
+        tracer.record("compaction", 0.004, epoch=2)
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 2
+        rows = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert rows[0]["name"] == "flush"
+        assert rows[0]["duration_seconds"] == 0.002
+        assert rows[0]["attributes"] == {"epoch": 1}
+        assert rows[1]["name"] == "compaction"
+
+    def test_jsonl_export_to_a_path(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("op", 0.001)
+        destination = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(destination) == 1
+        assert json.loads(destination.read_text())["name"] == "op"
+
+    def test_clear_empties_both_logs_but_keeps_lifetime_counters(self):
+        tracer = Tracer(slow_threshold_seconds=0.0)
+        tracer.record("op", 1.0)
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.slow_spans() == []
+        assert tracer.spans_recorded == 1
+
+
+class TestConcurrency:
+    def test_parallel_recorders_never_lose_counts(self):
+        tracer = Tracer(capacity=10_000, slow_threshold_seconds=0.5)
+        threads = [
+            threading.Thread(
+                target=lambda: [tracer.record("op", 0.001) for _ in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.spans_recorded == 4000
+        assert len(tracer.spans()) == 4000
+        assert tracer.slow_spans_recorded == 0
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        assert tracer.null and not Tracer.null
+        with tracer.span("flush", rows=1) as span:
+            assert span.annotate(epoch=2) is span
+        tracer.record("slow_query", 99.0)
+        assert tracer.spans() == []
+        assert tracer.slow_spans() == []
+        assert tracer.spans_recorded == 0
+        assert tracer.dropped() == 0
+        assert tracer.export_jsonl(io.StringIO()) == 0
+
+    def test_null_threshold_makes_every_elapsed_check_fail(self):
+        # call sites guard the slow-query log with
+        # `elapsed >= tracer.slow_threshold_seconds`; inf means "never".
+        assert not (1e9 >= NullTracer().slow_threshold_seconds)
+
+    def test_shared_span_context_allocates_nothing(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")

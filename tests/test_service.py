@@ -285,9 +285,22 @@ class TestDatalogService:
             "maintenance_rounds": 2,  # one remove_facts + one insert_facts
             "barriers": 1,
             "epochs_published": 1,
+            "queue_depth": 0,  # everything flushed by the barrier
+            "cache_entries": 1,  # the post-flush t(1, Y) miss re-primed it
             "coalescing_factor": 3.0,
             "cache_hit_rate": 0.25,
         }
+
+    def test_stats_copy_samples_queue_depth_and_cache_entries(self, service):
+        service.query("t(1, Y)?")  # prime one cache entry
+        service.insert("b", (7, 70))  # manual policy: sits on the queue
+        service.insert("b", (7, 71))
+        stats = service.stats
+        assert stats.queue_depth == 2
+        assert stats.cache_entries == 1
+        assert "queue=2" in str(stats) and "cache=1" in str(stats)
+        service.barrier()
+        assert service.stats.queue_depth == 0
 
 
 # ----------------------------------------------------------------------
