@@ -32,6 +32,7 @@ from .datalog import (
     ParseError,
     Program,
     ProgramError,
+    QueryTimeout,
     Relation,
     ReproError,
     Rule,
@@ -42,6 +43,7 @@ from .datalog import (
     parse_query,
     parse_rule,
 )
+from .faults import FaultAction, FaultPlan, inject as inject_faults
 from .engine import (
     EvaluationStats,
     QueryResult,
@@ -88,14 +90,19 @@ from .service import (
     EpochCache,
     FlushError,
     FlushPolicy,
+    RetryExhausted,
+    RetryPolicy,
+    RobustnessStats,
     ServiceClosed,
+    ServiceDegraded,
+    ServiceOverloaded,
     ServiceResult,
     ServiceSnapshot,
     ServiceStats,
 )
-from .storage import DurableStore, StorageConfig, StorageError, StorageStats
+from .storage import DurableStore, StorageConfig, StorageError, StorageStats, is_transient
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Atom",
@@ -106,6 +113,8 @@ __all__ = [
     "EpochCache",
     "EvaluationError",
     "EvaluationStats",
+    "FaultAction",
+    "FaultPlan",
     "FlushError",
     "FlushPolicy",
     "MaterializedView",
@@ -121,12 +130,18 @@ __all__ = [
     "Program",
     "ProgramError",
     "QueryResult",
+    "QueryTimeout",
     "Relation",
     "ReproError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RobustnessStats",
     "Rule",
     "SchemaError",
     "SelectionQuery",
     "ServiceClosed",
+    "ServiceDegraded",
+    "ServiceOverloaded",
     "ServiceResult",
     "ServiceSnapshot",
     "ServiceStats",
@@ -155,7 +170,9 @@ __all__ = [
     "expand",
     "expand_general",
     "henschen_naqvi_selection",
+    "inject_faults",
     "is_one_sided",
+    "is_transient",
     "magic_query",
     "naive_evaluate",
     "naive_query",

@@ -11,6 +11,7 @@ from .errors import (
     NotOneSidedError,
     ParseError,
     ProgramError,
+    QueryTimeout,
     ReproError,
     SchemaError,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "ParseError",
     "Program",
     "ProgramError",
+    "QueryTimeout",
     "Relation",
     "ReproError",
     "Rule",

@@ -48,6 +48,17 @@ class EvaluationError(ReproError):
     """Raised when query evaluation cannot proceed (unknown predicate, bad query)."""
 
 
+class QueryTimeout(ReproError, TimeoutError):
+    """A query exceeded its ``timeout=`` deadline.
+
+    Raised eagerly when the deadline has already passed at dispatch, and
+    cooperatively from inside the fixpoint drivers (checked once per
+    iteration via :meth:`repro.engine.instrumentation.EvaluationStats.record_iteration`)
+    for evaluations that are already running.  Subclasses ``TimeoutError``
+    so generic deadline handling catches it too.
+    """
+
+
 class NotOneSidedError(ProgramError):
     """Raised when a one-sided-only evaluation algorithm is applied to a recursion
     that Theorem 3.1 classifies as many-sided."""

@@ -16,7 +16,12 @@ from .cq_eval import (
     plan_order,
 )
 from .domain import Domain, interning_enabled, interning_mode, set_interning_enabled
-from .instrumentation import EvaluationStats
+from .instrumentation import (
+    EvaluationStats,
+    active_deadline,
+    check_deadline,
+    evaluation_deadline,
+)
 from .columnar import (
     ColumnStore,
     columnar_enabled,
@@ -44,9 +49,11 @@ __all__ = [
     "PlanCache",
     "QueryResult",
     "SelectionQuery",
+    "active_deadline",
     "answer",
     "as_relation",
     "as_selection_query",
+    "check_deadline",
     "columnar_enabled",
     "columnar_mode",
     "compile_delta_variants",
@@ -56,6 +63,7 @@ __all__ = [
     "evaluate_body",
     "evaluate_body_project",
     "evaluate_rule",
+    "evaluation_deadline",
     "evaluation_strata",
     "group_insert_closure",
     "interning_enabled",

@@ -18,8 +18,57 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from ..datalog.errors import QueryTimeout
+
+# ----------------------------------------------------------------------
+# cooperative per-thread evaluation deadlines
+# ----------------------------------------------------------------------
+# Every fixpoint driver in the library calls ``stats.record_iteration()``
+# once per outer loop pass, which makes that hook the one place a deadline
+# can be enforced across all engines (interpreted, kernel, columnar, magic,
+# counting) without threading a parameter through every driver.  The
+# deadline is thread-local: the serving layer arms it around one query's
+# evaluation in one reader thread; concurrent queries are unaffected.
+_deadline_local = threading.local()
+
+
+def active_deadline() -> Optional[float]:
+    """The calling thread's armed deadline (``time.perf_counter`` basis)."""
+    return getattr(_deadline_local, "value", None)
+
+
+def check_deadline() -> None:
+    """Raise :class:`QueryTimeout` when the thread's armed deadline passed."""
+    deadline = getattr(_deadline_local, "value", None)
+    if deadline is not None and time.perf_counter() >= deadline:
+        raise QueryTimeout(
+            f"evaluation exceeded its deadline by "
+            f"{time.perf_counter() - deadline:.3f}s"
+        )
+
+
+@contextmanager
+def evaluation_deadline(deadline: Optional[float]):
+    """Arm a cooperative deadline for the enclosed evaluation.
+
+    ``deadline`` is an absolute ``time.perf_counter()`` instant (``None``
+    disarms nothing and arms nothing).  Nested deadlines keep the tighter
+    one; the previous value is always restored on exit, so reader-pool
+    threads never leak a stale deadline into the next query.
+    """
+    if deadline is None:
+        yield
+        return
+    previous = getattr(_deadline_local, "value", None)
+    _deadline_local.value = deadline if previous is None else min(previous, deadline)
+    try:
+        yield
+    finally:
+        _deadline_local.value = previous
 
 
 @dataclass
@@ -72,8 +121,19 @@ class EvaluationStats:
         self.tuples_produced += count
 
     def record_iteration(self) -> None:
-        """Record one pass of the outer fixpoint / while loop."""
+        """Record one pass of the outer fixpoint / while loop.
+
+        Doubles as the cooperative cancellation point: when the calling
+        thread has an :func:`evaluation_deadline` armed and it has passed,
+        this raises :class:`~repro.datalog.errors.QueryTimeout` — one
+        ``getattr`` per fixpoint iteration when disarmed.
+        """
         self.iterations += 1
+        deadline = getattr(_deadline_local, "value", None)
+        if deadline is not None and time.perf_counter() >= deadline:
+            raise QueryTimeout(
+                f"evaluation exceeded its deadline at iteration {self.iterations}"
+            )
 
     def record_plans_compiled(self, count: int = 1) -> None:
         """Record join plans compiled for a fixpoint (engine-v2 bookkeeping)."""

@@ -1,0 +1,12 @@
+"""Deterministic fault injection (see :mod:`repro.faults.injector`)."""
+
+from .injector import KNOWN_SITES, FaultAction, FaultPlan, active, fire, inject
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "KNOWN_SITES",
+    "active",
+    "fire",
+    "inject",
+]

@@ -1,0 +1,220 @@
+"""Deterministic, seedable fault injection for the durable service.
+
+The robustness layer needs to *prove* graceful degradation, which means the
+test suite must be able to make the disk fail on the 3rd WAL append, the
+fsync fail right after a successful write, a snapshot write tear mid-file,
+or the flusher stall — on demand, deterministically, and without the
+production code carrying test-only branches.
+
+The mechanism is a registry of **named sites** compiled into the hot paths
+(``wal.append``, ``wal.fsync``, ``snapshot.write``, ``store.compact``,
+``service.flush``, ...).  Each site calls :func:`fire` exactly once per
+traversal.  When no :class:`FaultPlan` is active — the production state —
+``fire`` is one module-global read and a ``None`` check; no locks, no
+allocation, no schedule lookups.  A test activates a plan with
+:func:`inject` (a context manager), mapping sites to *ordinal-keyed*
+schedules of :class:`FaultAction`\\ s: "the 2nd time ``wal.append`` is
+reached, raise ``ENOSPC``; the 5th time, tear the frame".
+
+Three action kinds cover the failure modes the chaos family exercises:
+
+* ``error`` — raise a fresh exception from a factory (``OSError(ENOSPC)``,
+  ``OSError(EIO)``, ...); the site never sees the action object;
+* ``delay`` — sleep, modelling a slow disk or a stalled flusher;
+* ``torn`` — returned *to the site* so it can write a deliberately partial
+  frame before raising (only ``wal.append`` honors it; sites that cannot
+  tear ignore the returned action).
+
+Determinism: a plan's schedule is fixed data (built from a seed by the
+chaos generator), ordinals count site traversals under a lock, and every
+firing is recorded in ``plan.fired`` so tests can assert exactly which
+faults a run actually exercised.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+#: the sites wired into the production code, for documentation and for
+#: generators that draw random sites from a stable universe
+KNOWN_SITES: Tuple[str, ...] = (
+    "wal.append",  # WriteAheadLog.append, before the frame is written
+    "wal.fsync",  # WriteAheadLog.append, after the write, before fsync
+    "wal.start_segment",  # WriteAheadLog.start_segment (attach / reset / revive)
+    "snapshot.write",  # snapshot.write_snapshot, before the scratch write
+    "store.compact",  # DurableStore.compact, before the covering snapshot
+    "service.flush",  # DatalogService._apply, before the batch is applied
+)
+
+
+class FaultAction:
+    """One scheduled fault: raise an error, sleep, or tear a write."""
+
+    ERROR = "error"
+    DELAY = "delay"
+    TORN = "torn"
+
+    __slots__ = ("kind", "make", "seconds", "fraction")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        make: Optional[Callable[[], BaseException]] = None,
+        seconds: float = 0.0,
+        fraction: float = 0.5,
+    ) -> None:
+        if kind not in (self.ERROR, self.DELAY, self.TORN):
+            raise ValueError(f"unknown fault action kind {kind!r}")
+        self.kind = kind
+        self.make = make
+        self.seconds = seconds
+        self.fraction = fraction
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def error(cls, make: Callable[[], BaseException]) -> "FaultAction":
+        """Raise a fresh exception from ``make`` at the site."""
+        return cls(cls.ERROR, make=make)
+
+    @classmethod
+    def enospc(cls) -> "FaultAction":
+        """The classic full disk: ``OSError(ENOSPC)``."""
+        return cls.error(lambda: OSError(errno.ENOSPC, "No space left on device"))
+
+    @classmethod
+    def eio(cls) -> "FaultAction":
+        """A generic I/O failure: ``OSError(EIO)``."""
+        return cls.error(lambda: OSError(errno.EIO, "Input/output error"))
+
+    @classmethod
+    def delay(cls, seconds: float) -> "FaultAction":
+        """Sleep at the site (slow disk / stalled flusher)."""
+        return cls(cls.DELAY, seconds=seconds)
+
+    @classmethod
+    def torn(
+        cls, fraction: float = 0.5, make: Optional[Callable[[], BaseException]] = None
+    ) -> "FaultAction":
+        """Write only ``fraction`` of the frame, then raise (``wal.append``).
+
+        Models a crash or full disk cutting a record mid-write: the torn
+        bytes *stay in the file* (exactly what recovery's torn-tail handling
+        must cope with) and the append still fails with an ``OSError``.
+        """
+        action = cls(cls.TORN, make=make, fraction=fraction)
+        if action.make is None:
+            action.make = lambda: OSError(errno.ENOSPC, "No space left on device")
+        return action
+
+    def make_error(self) -> BaseException:
+        assert self.make is not None
+        return self.make()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultAction({self.kind})"
+
+
+class FaultPlan:
+    """Site → ordinal-keyed schedule of :class:`FaultAction`\\ s.
+
+    Ordinals are 1-based: ``plan.at("wal.append", 2, FaultAction.enospc())``
+    fires on the *second* traversal of the site after activation.  The plan
+    counts traversals under its own lock (sites are hit from the flusher,
+    probe and client threads concurrently) and appends every firing to
+    ``fired`` as ``(site, ordinal, kind)``.
+    """
+
+    def __init__(self) -> None:
+        self._schedule: Dict[str, Dict[int, FaultAction]] = {}
+        self._hits: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: every action that actually fired: ``(site, ordinal, kind)``
+        self.fired: List[Tuple[str, int, str]] = []
+
+    def at(self, site: str, ordinal: int, action: FaultAction) -> "FaultPlan":
+        """Schedule ``action`` on the ``ordinal``-th traversal of ``site``."""
+        if ordinal < 1:
+            raise ValueError("fault ordinals are 1-based")
+        self._schedule.setdefault(site, {})[ordinal] = action
+        return self
+
+    def during(
+        self, site: str, ordinals: Iterable[int], action: FaultAction
+    ) -> "FaultPlan":
+        """Schedule the same action on every ordinal in ``ordinals`` (a window)."""
+        for ordinal in ordinals:
+            self.at(site, ordinal, action)
+        return self
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been traversed under this plan."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def error_kinds_fired(self) -> int:
+        """How many *failure* actions (error/torn, not delays) have fired."""
+        with self._lock:
+            return sum(1 for _site, _ordinal, kind in self.fired if kind != FaultAction.DELAY)
+
+    def fire(self, site: str) -> Optional[FaultAction]:
+        """Count one traversal of ``site``; execute any scheduled action.
+
+        ``error`` actions raise here; ``delay`` actions sleep here; ``torn``
+        actions are returned for the site to execute (sites that cannot
+        tear a write ignore the returned action).
+        """
+        with self._lock:
+            ordinal = self._hits.get(site, 0) + 1
+            self._hits[site] = ordinal
+            action = self._schedule.get(site, {}).get(ordinal)
+            if action is None:
+                return None
+            self.fired.append((site, ordinal, action.kind))
+        if action.kind == FaultAction.ERROR:
+            raise action.make_error()
+        if action.kind == FaultAction.DELAY:
+            time.sleep(action.seconds)
+            return None
+        return action  # torn: the site finishes the job
+
+
+#: the active plan; ``None`` (the default) keeps every site at one global
+#: read + None check — zero overhead in production
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def fire(site: str) -> Optional[FaultAction]:
+    """The site-side entry point; see :meth:`FaultPlan.fire`."""
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.fire(site)
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Activate ``plan`` for the dynamic extent of the ``with`` block.
+
+    Plans do not nest (the chaos harness owns the whole process while it
+    runs); activating over an active plan is a test bug and raises.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a FaultPlan is already active; plans do not nest")
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None

@@ -17,7 +17,12 @@ package serves them to *many clients at once*:
 * durability (optional) — construct with ``storage=`` or use
   :meth:`DatalogService.open`: every flushed batch is WAL-logged (fsynced
   before its tickets resolve), snapshots compact the log, and recovery
-  replays "latest snapshot + WAL tail" back into a live service.
+  replays "latest snapshot + WAL tail" back into a live service;
+* robustness — a health-state machine (``HEALTHY`` / ``DEGRADED``
+  read-only / ``RECOVERING``) with :class:`RetryPolicy`-driven append
+  retries and a background recovery probe, per-query ``timeout=``
+  deadlines, and :class:`FlushPolicy`-bounded admission control
+  (:class:`ServiceOverloaded`); counters land in :class:`RobustnessStats`.
 """
 
 from .cache import EpochCache
@@ -30,16 +35,35 @@ from .queue import (
     WriteTicket,
     coalesce,
 )
-from .service import DatalogService, ServiceResult, ServiceStats
+from .retry import (
+    DEGRADED,
+    HEALTH_STATE_CODES,
+    HEALTHY,
+    RECOVERING,
+    RetryExhausted,
+    RetryPolicy,
+    ServiceDegraded,
+    ServiceOverloaded,
+)
+from .service import DatalogService, RobustnessStats, ServiceResult, ServiceStats
 from .snapshot import ServiceSnapshot, take_snapshot
 
 __all__ = [
     "CoalescedWrite",
+    "DEGRADED",
     "DatalogService",
     "EpochCache",
     "FlushError",
     "FlushPolicy",
+    "HEALTH_STATE_CODES",
+    "HEALTHY",
+    "RECOVERING",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RobustnessStats",
     "ServiceClosed",
+    "ServiceDegraded",
+    "ServiceOverloaded",
     "ServiceResult",
     "ServiceSnapshot",
     "ServiceStats",

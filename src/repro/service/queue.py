@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..datalog.relation import Row
+from .retry import ServiceDegraded, ServiceOverloaded
 
 
 class ServiceClosed(RuntimeError):
@@ -70,16 +71,26 @@ class FlushPolicy:
     ``max_batch`` bounds how many tickets one round may absorb (reaching it
     flushes immediately); ``max_delay_seconds`` bounds how long the oldest
     write may wait (the latency deadline).  A barrier always flushes now.
+
+    ``max_pending`` is admission control: with a bound set, a write arriving
+    while that many tickets already wait is refused with
+    :class:`~repro.service.retry.ServiceOverloaded` instead of growing the
+    queue without limit (barriers are exempt — draining must stay possible
+    under overload).  The default ``None`` keeps the historical unbounded
+    behavior.
     """
 
     max_batch: int = 64
     max_delay_seconds: float = 0.005
+    max_pending: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("FlushPolicy.max_batch must be at least 1")
         if self.max_delay_seconds < 0:
             raise ValueError("FlushPolicy.max_delay_seconds cannot be negative")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("FlushPolicy.max_pending must be at least 1 (or None)")
 
 
 class WriteTicket:
@@ -146,6 +157,12 @@ class WriteTicket:
         if self.error is not None:
             if isinstance(self.error, ServiceClosed):
                 raise ServiceClosed(str(self.error)) from self.error
+            if isinstance(self.error, ServiceDegraded):
+                # same per-waiter freshness as ServiceClosed, and the same
+                # "catch the promised type" ergonomics: a batch refused by a
+                # degraded service re-raises as ServiceDegraded, not as a
+                # generic FlushError
+                raise ServiceDegraded(str(self.error)) from self.error
             raise FlushError(self, self.error) from self.error
         assert self.epoch is not None
         return self.epoch
@@ -206,10 +223,26 @@ class WriteQueue:
     # client side
     # ------------------------------------------------------------------
     def put(self, ticket: WriteTicket) -> WriteTicket:
-        """Enqueue a ticket; wakes the flusher when a trigger is reached."""
+        """Enqueue a ticket; wakes the flusher when a trigger is reached.
+
+        With ``policy.max_pending`` set, a non-barrier ticket arriving at a
+        full queue is shed with :class:`ServiceOverloaded` — bounded memory
+        under writer storms, and an explicit backpressure signal instead of
+        silently unbounded latency.
+        """
         with self._cond:
             if self._closed:
                 raise ServiceClosed("write queue is closed")
+            limit = self.policy.max_pending
+            if (
+                limit is not None
+                and not ticket.is_barrier
+                and len(self._pending) >= limit
+            ):
+                raise ServiceOverloaded(
+                    f"write queue is full ({len(self._pending)} pending >= "
+                    f"max_pending {limit}); retry after the flusher drains"
+                )
             ticket.enqueued_at = time.monotonic()
             self._pending.append(ticket)
             self._cond.notify_all()

@@ -1,0 +1,138 @@
+"""Retry policy, health states and degradation errors for the service.
+
+PR 6 gave the service durability with a blunt failure mode: the first
+storage exception poisoned the write path forever (``_storage_failed``), and
+only a full process restart (``DatalogService.open``) could recover.  This
+module is the vocabulary of the graceful version:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *deterministic* jitter (seeded, so a test run replays the exact same
+  sleep schedule), plus retryable-error classification (delegating to
+  :func:`repro.storage.errors.is_transient` by default);
+* health states — ``HEALTHY``, ``DEGRADED`` (read-only: reads keep serving
+  the last published epoch, writes are refused crisply), ``RECOVERING``
+  (a background probe is re-attaching storage);
+* the degradation errors clients can see: :class:`RetryExhausted` (your
+  batch's appends kept failing; safe to retry later), :class:`ServiceDegraded`
+  (the service is read-only right now; retry later) and
+  :class:`ServiceOverloaded` (admission control shed your write; back off).
+
+All three errors are *retryable by contract*: Datalog inserts and deletes
+are idempotent per row, so a client that re-submits a write whose fate was
+ambiguous cannot corrupt state — at worst it re-applies a no-op.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..datalog.errors import ReproError
+from ..storage.errors import is_transient
+
+# ----------------------------------------------------------------------
+# health states
+# ----------------------------------------------------------------------
+#: all writes accepted; storage (if any) is appending normally
+HEALTHY = "healthy"
+#: read-only: writes are refused with :class:`ServiceDegraded`; reads keep
+#: serving the last published epoch; a probe may be pending
+DEGRADED = "degraded"
+#: a background probe is actively re-attaching storage and re-logging the
+#: applied-but-unlogged backlog; still read-only until it finishes
+RECOVERING = "recovering"
+
+#: numeric encoding for the ``repro_service_health_state`` gauge
+HEALTH_STATE_CODES = {HEALTHY: 0, DEGRADED: 1, RECOVERING: 2}
+
+
+# ----------------------------------------------------------------------
+# degradation errors
+# ----------------------------------------------------------------------
+class ServiceDegraded(ReproError, RuntimeError):
+    """The service is in a degraded (read-only) state; the write was refused.
+
+    Reads are unaffected.  Retryable: once the background probe returns the
+    service to HEALTHY the same write will be accepted.
+    """
+
+
+class ServiceOverloaded(ReproError, RuntimeError):
+    """Admission control refused the write: the queue is at ``max_pending``.
+
+    Retryable: the client should back off and resubmit once the flusher has
+    drained the backlog (barriers are exempt, so ``barrier()`` still gives a
+    clean "wait for the queue to clear" primitive).
+    """
+
+
+class RetryExhausted(ReproError, RuntimeError):
+    """A transient storage failure outlived every retry attempt.
+
+    The batch's writes were applied in memory but could not be durably
+    logged; the service transitioned to DEGRADED and keeps the batch as an
+    *unlogged backlog* it will re-log during recovery.  The client must
+    treat the write's fate as ambiguous — re-submitting after the service
+    recovers is always safe (row-level idempotence) and is the recommended
+    move.  ``__cause__`` carries the final storage error, so
+    :func:`~repro.storage.errors.is_transient` classifies this as transient.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"storage append failed after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+# ----------------------------------------------------------------------
+# the policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try: 4 means one try plus up to three
+    retries.  ``delay(attempt)`` is the backoff *before* retry ``attempt``
+    (1-based), capped at ``max_delay_seconds`` and jittered by ±``jitter``
+    using a generator seeded from ``(seed, attempt)`` — the schedule is a
+    pure function of the policy, so chaos runs replay identically while
+    distinct seeds still decorrelate services sharing a disk.
+    """
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_delay_seconds: float = 0.5
+    jitter: float = 0.25
+    seed: int = 0x5EED
+    #: classifies which errors are worth retrying (and which degradations
+    #: are recoverable); the default is storage's transient-failure test
+    classify: Callable[[Optional[BaseException]], bool] = field(default=is_transient)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("RetryPolicy.max_attempts must be at least 1")
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ValueError("RetryPolicy delays cannot be negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("RetryPolicy.jitter must be in [0, 1)")
+
+    def retryable(self, error: Optional[BaseException]) -> bool:
+        """Whether ``error`` is worth retrying (transient, not a crash/bug)."""
+        return self.classify(error)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to back off before (1-based) retry ``attempt``."""
+        if attempt < 1:
+            raise ValueError("retry attempts are 1-based")
+        raw = min(
+            self.max_delay_seconds,
+            self.base_delay_seconds * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = random.Random((self.seed << 16) ^ attempt)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())

@@ -35,11 +35,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..datalog.database import Database
-from ..datalog.errors import EvaluationError
+from ..datalog.errors import EvaluationError, QueryTimeout
 from ..datalog.relation import Row
 from ..datalog.rules import Program
-from ..engine.instrumentation import EvaluationStats, stats_bridge
+from ..engine.instrumentation import EvaluationStats, evaluation_deadline, stats_bridge
 from ..engine.query import QueryResult, SelectionQuery, answer, as_selection_query
+from ..faults import fire as fire_fault
 from ..incremental.session import RowsLike, Session, as_rows
 from ..obs import (
     MetricsRegistry,
@@ -51,6 +52,16 @@ from ..obs import (
 from ..storage import DurableStore, StorageConfig, StorageError
 from .cache import EpochCache
 from .queue import FlushPolicy, ServiceClosed, WriteQueue, WriteTicket, coalesce
+from .retry import (
+    DEGRADED,
+    HEALTH_STATE_CODES,
+    HEALTHY,
+    RECOVERING,
+    RetryExhausted,
+    RetryPolicy,
+    ServiceDegraded,
+    ServiceOverloaded,
+)
 from .snapshot import ServiceSnapshot, take_snapshot
 
 _now = time.perf_counter
@@ -126,6 +137,64 @@ class ServiceStats:
 
 
 @dataclass
+class RobustnessStats:
+    """Degradation/recovery counters, kept off the pinned :class:`ServiceStats`.
+
+    Same precedent as :class:`~repro.storage.store.StorageStats`: tests pin
+    ``ServiceStats.as_dict()`` exactly, so the robustness layer carries its
+    own counter block (surfaced via ``DatalogService.robustness``,
+    ``/statusz`` and the ``repro_service_*`` metric families).
+    """
+
+    #: transient storage-append failures that were retried (per attempt)
+    retries: int = 0
+    #: batches whose appends failed through every retry attempt
+    retry_exhaustions: int = 0
+    #: HEALTHY -> DEGRADED transitions
+    degradations: int = 0
+    #: returns to HEALTHY (from DEGRADED or RECOVERING)
+    recoveries: int = 0
+    #: background storage probes attempted
+    probes: int = 0
+    #: writes shed by admission control (``FlushPolicy.max_pending``)
+    writes_shed: int = 0
+    #: writes refused because the service was degraded (read-only)
+    writes_refused: int = 0
+    #: queries that missed their ``timeout=`` deadline
+    query_timeouts: int = 0
+    #: exceptions that escaped the flush loop outside batch apply
+    flusher_faults: int = 0
+    #: transient compaction failures (service stayed up, WAL-only fallback)
+    compaction_failures: int = 0
+    #: cumulative seconds spent not-HEALTHY (live window included when the
+    #: stats are copied out while degraded)
+    degraded_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat dictionary view, convenient for report tables and JSON."""
+        return {
+            "retries": self.retries,
+            "retry_exhaustions": self.retry_exhaustions,
+            "degradations": self.degradations,
+            "recoveries": self.recoveries,
+            "probes": self.probes,
+            "writes_shed": self.writes_shed,
+            "writes_refused": self.writes_refused,
+            "query_timeouts": self.query_timeouts,
+            "flusher_faults": self.flusher_faults,
+            "compaction_failures": self.compaction_failures,
+            "degraded_seconds": round(self.degraded_seconds, 6),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"retries={self.retries} exhaustions={self.retry_exhaustions} "
+            f"degradations={self.degradations} recoveries={self.recoveries} "
+            f"shed={self.writes_shed} timeouts={self.query_timeouts}"
+        )
+
+
+@dataclass
 class ServiceResult:
     """A query answer plus the exact epoch (and snapshot) it observed."""
 
@@ -170,6 +239,7 @@ class DatalogService:
         storage_config: Optional[StorageConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         registry = metrics if metrics is not None else NullRegistry()
         trace = tracer if tracer is not None else NullTracer()
@@ -212,6 +282,17 @@ class DatalogService:
         self._stats_lock = threading.Lock()
         self.storage = store
         self._storage_failed: Optional[BaseException] = None
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.robust = RobustnessStats()
+        self._health = HEALTHY
+        self._health_lock = threading.Lock()
+        self._degraded_since: Optional[float] = None
+        #: batches applied in memory whose WAL append exhausted its retries;
+        #: re-logged (in order) by the recovery probe before HEALTHY returns
+        self._unlogged: List[Tuple[int, List[Tuple[str, str, Tuple[Row, ...]]]]] = []
+        self._probe: Optional[threading.Thread] = None
+        self._probe_wake = threading.Event()
+        self._close_lock = threading.Lock()
         if recovered is not None:
             # rebuilding views from the recovered EDB advanced the registry
             # arbitrarily; re-anchor so published epochs continue the durable
@@ -280,7 +361,7 @@ class DatalogService:
         # the hot path is one dict probe and one call
         self._query_seconds = {
             outcome: query_seconds.labels(outcome).observe
-            for outcome in ("cache_hit", "snapshot_lookup", "fallback")
+            for outcome in ("cache_hit", "snapshot_lookup", "fallback", "timeout")
         }
         self._flush_seconds = registry.histogram(
             "repro_service_flush_seconds",
@@ -319,6 +400,29 @@ class DatalogService:
         self._epoch_gauge = registry.gauge(
             "repro_service_epoch", "The epoch readers are currently served from."
         )
+        self._health_gauge = registry.gauge(
+            "repro_service_health_state",
+            "Service health state (0=healthy, 1=degraded read-only, 2=recovering).",
+        )
+        self._robust_counters = {
+            key: registry.counter(
+                f"repro_service_{key}_total",
+                f"Total {key.replace('_', ' ')} (see RobustnessStats.{key}).",
+            )
+            for key in (
+                "retries",
+                "retry_exhaustions",
+                "degradations",
+                "recoveries",
+                "probes",
+                "writes_shed",
+                "writes_refused",
+                "query_timeouts",
+                "flusher_faults",
+                "compaction_failures",
+                "degraded_seconds",
+            )
+        }
         registry.register_collector(self._collect_service_metrics)
         if self.storage is not None:
             self.storage.instrument(registry, tracer)
@@ -331,6 +435,10 @@ class DatalogService:
         for key, gauge in self._service_gauges.items():
             gauge.set(snapshot[key])
         self._epoch_gauge.set(self.epoch)
+        self._health_gauge.set(HEALTH_STATE_CODES[self._health])
+        robust = self.robustness.as_dict()
+        for key, counter in self._robust_counters.items():
+            counter.set_total(robust[key])
 
     def serve_metrics(
         self, port: int = 0, host: str = "127.0.0.1"
@@ -371,10 +479,26 @@ class DatalogService:
             checks["storage"] = (True, "in-memory service (no durable store)")
         else:
             failed = self._storage_failed
-            checks["storage"] = (
-                failed is None,
-                "durable store is healthy" if failed is None else f"storage poisoned: {failed}",
-            )
+            if failed is None:
+                checks["storage"] = (True, "durable store is healthy")
+            elif self.retry_policy.retryable(failed):
+                # degraded != dead: a transient failure with a recovery probe
+                # pending keeps the service alive for reads and will heal —
+                # /healthz stays green so orchestrators don't kill a replica
+                # that is about to recover (the state is visible in /statusz
+                # and the health-state gauge)
+                checks["storage"] = (
+                    True,
+                    f"storage degraded (read-only), recovery in progress: {failed}",
+                )
+            else:
+                checks["storage"] = (False, f"storage poisoned: {failed}")
+        state = self._health
+        checks["health_state"] = (
+            state == HEALTHY or self._recoverable(),
+            f"service is {state}"
+            + ("" if state == HEALTHY else f" ({self.robust.degradations} degradation(s))"),
+        )
         # "epochs advancing" operationally: no pending write may sit on the
         # queue far past the flush deadline — that is a wedged flusher, which
         # is exactly the state where published epochs stop moving
@@ -396,9 +520,17 @@ class DatalogService:
 
         storage_stats = self.storage_stats
         threshold = self.tracer.slow_threshold_seconds
+        failed = self._storage_failed
         return {
             "epoch": self.epoch,
             "closed": self._closed,
+            "health": {
+                "state": self._health,
+                "recoverable": self._recoverable(),
+                "storage_failed": None if failed is None else repr(failed),
+                "unlogged_batches": len(self._unlogged),
+                "robustness": self.robustness.as_dict(),
+            },
             "service": self.stats.as_dict(),
             "storage": storage_stats.as_dict() if storage_stats is not None else None,
             "engine": self._engine_bridge.totals.as_dict(),
@@ -421,6 +553,13 @@ class DatalogService:
     def close(self, timeout: float = 30.0) -> None:
         """Drain pending writes, stop the flusher and shut the reader pool.
 
+        Idempotent and safe to race: the first caller does the shutdown,
+        every later (or concurrent) call returns immediately — including
+        after a first close that raised on a stuck flusher.  Shuts down the
+        :meth:`serve_metrics` observability server (its listening socket and
+        serving thread must not outlive the service) and the background
+        recovery probe alongside the flusher, reader pool and durable store.
+
         A flusher that fails to exit within ``timeout`` is *surfaced*, not
         silently abandoned: every unresolved ticket — still queued *or* in
         the batch the stuck flusher already drained — is resolved with
@@ -429,9 +568,11 @@ class DatalogService:
         :class:`ServiceClosed`), the reader pool and the durable store are
         shut down regardless, and this method raises :class:`ServiceClosed`.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._probe_wake.set()  # a sleeping probe exits at its next wakeup
         self.queue.close()
         self._flusher.join(timeout=timeout)
         stuck = self._flusher.is_alive()
@@ -443,6 +584,9 @@ class DatalogService:
         try:
             self._readers.shutdown(wait=True)
         finally:
+            probe = self._probe
+            if probe is not None:
+                probe.join(timeout=5.0)
             if self._obs_server is not None:
                 self._obs_server.close()
             if self.storage is not None:
@@ -488,7 +632,12 @@ class DatalogService:
     def _enqueue(self, ticket: WriteTicket, wait: bool, timeout: Optional[float]) -> WriteTicket:
         if self._closed:
             raise ServiceClosed("service is closed")
-        self.queue.put(ticket)
+        try:
+            self.queue.put(ticket)
+        except ServiceOverloaded:
+            with self._stats_lock:
+                self.robust.writes_shed += 1
+            raise
         with self._stats_lock:
             self._stats.writes_enqueued += 1
         if wait:
@@ -498,20 +647,39 @@ class DatalogService:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
-    def query(self, query: Union[SelectionQuery, str]) -> ServiceResult:
-        """Answer in the calling thread against the current published epoch."""
+    def query(
+        self, query: Union[SelectionQuery, str], *, timeout: Optional[float] = None
+    ) -> ServiceResult:
+        """Answer in the calling thread against the current published epoch.
+
+        ``timeout`` is a per-query deadline in seconds: when it passes before
+        the answer is ready, the query raises
+        :class:`~repro.datalog.errors.QueryTimeout`.  Snapshot/cache answers
+        are effectively instant; the deadline matters for fallback
+        evaluations, where it is enforced cooperatively once per fixpoint
+        iteration.
+        """
         if self._closed:
             raise ServiceClosed("service is closed")
         selection = as_selection_query(self.session.program, query)
-        return self._answer(self._snapshot, selection)
+        deadline = None if timeout is None else _now() + timeout
+        return self._answer(self._snapshot, selection, deadline)
 
-    def submit(self, query: Union[SelectionQuery, str]) -> "Future[ServiceResult]":
-        """Dispatch to the reader pool; the epoch is pinned at submission time."""
+    def submit(
+        self, query: Union[SelectionQuery, str], *, timeout: Optional[float] = None
+    ) -> "Future[ServiceResult]":
+        """Dispatch to the reader pool; the epoch is pinned at submission time.
+
+        The ``timeout`` deadline starts *now* — time spent waiting for a free
+        reader thread counts against it, so a saturated pool fails queries
+        crisply instead of letting them queue past their usefulness.
+        """
         if self._closed:
             raise ServiceClosed("service is closed")
         selection = as_selection_query(self.session.program, query)
         snapshot = self._snapshot
-        return self._readers.submit(self._answer, snapshot, selection)
+        deadline = None if timeout is None else _now() + timeout
+        return self._readers.submit(self._answer, snapshot, selection, deadline)
 
     def snapshot(self) -> ServiceSnapshot:
         """The currently published snapshot (immutable; safe to hold)."""
@@ -551,10 +719,149 @@ class DatalogService:
         return self._storage_failed
 
     # ------------------------------------------------------------------
+    # health-state machine
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> str:
+        """``HEALTHY``, ``DEGRADED`` (read-only) or ``RECOVERING``."""
+        return self._health
+
+    @property
+    def robustness(self) -> RobustnessStats:
+        """A point-in-time copy of the degradation/recovery counters.
+
+        ``degraded_seconds`` includes the currently-open degraded window, so
+        an operator watching the gauge sees it climb *during* an outage, not
+        only after recovery.
+        """
+        with self._stats_lock:
+            copied = replace(self.robust)
+        since = self._degraded_since
+        if since is not None:
+            copied.degraded_seconds += _now() - since
+        return copied
+
+    def _recoverable(self) -> bool:
+        """Whether the current degradation can heal without a restart."""
+        failed = self._storage_failed
+        return failed is None or self.retry_policy.retryable(failed)
+
+    def _set_health(self, state: str) -> None:
+        """One transition of the health machine, with degraded-time accounting."""
+        with self._health_lock:
+            previous = self._health
+            if previous == state:
+                return
+            self._health = state
+            now = _now()
+            if previous == HEALTHY:
+                self._degraded_since = now
+            if state == HEALTHY:
+                with self._stats_lock:
+                    if self._degraded_since is not None:
+                        self.robust.degraded_seconds += now - self._degraded_since
+                    self.robust.recoveries += 1
+                self._degraded_since = None
+            elif previous == HEALTHY and state == DEGRADED:
+                with self._stats_lock:
+                    self.robust.degradations += 1
+
+    def _degrade(self, error: BaseException, *, storage: bool) -> None:
+        """Enter DEGRADED; start the background recovery probe when possible.
+
+        ``storage=True`` records the error as the storage poison.  A probe
+        only starts for failures that can heal: transient storage errors,
+        and non-storage flusher faults (the service state itself is sound —
+        one batch died).  A :class:`~repro.storage.SimulatedCrash` or a
+        logic error keeps the service DEGRADED until a restart, preserving
+        the crash/restore contract.
+        """
+        if storage:
+            self._storage_failed = error
+        self._set_health(DEGRADED)
+        if not storage or self.retry_policy.retryable(error):
+            self._start_probe()
+
+    def _start_probe(self) -> None:
+        with self._health_lock:
+            if self._closed or (self._probe is not None and self._probe.is_alive()):
+                return
+            self._probe_wake.clear()
+            self._probe = threading.Thread(
+                target=self._probe_loop, name="repro-prober", daemon=True
+            )
+            self._probe.start()
+
+    def _probe_loop(self) -> None:
+        """Background recovery: re-probe storage until HEALTHY (or closed).
+
+        Backoff reuses the retry policy's delay schedule; probing is
+        unbounded in attempts because staying DEGRADED forever is exactly
+        the failure mode this layer exists to remove — an *unrecoverable*
+        failure never starts a probe in the first place.
+        """
+        attempt = 0
+        while not self._closed:
+            attempt += 1
+            delay = self.retry_policy.delay(min(attempt, 64))
+            if self._probe_wake.wait(delay):
+                return  # close() is shutting the service down
+            with self._stats_lock:
+                self.robust.probes += 1
+            self._set_health(RECOVERING)
+            try:
+                self._recover_storage()
+            except BaseException:  # noqa: BLE001 - still down; keep probing
+                self._set_health(DEGRADED)
+                continue
+            self._set_health(HEALTHY)
+            return
+
+    def _recover_storage(self) -> None:
+        """One probe attempt: revive the store, re-log the backlog, publish.
+
+        Runs under the registry lock so it cannot interleave with a flush.
+        The unlogged backlog is re-appended oldest-first (replay's epoch
+        guard makes any duplicate of a possibly-persisted earlier attempt
+        harmless), and the epochs the degraded window applied in memory but
+        never published are published now — readers jump forward to the
+        state the WAL once again fully covers.
+        """
+        registry = self.session.registry
+        with registry.lock:
+            store = self.storage
+            if store is not None:
+                store.revive(registry.epoch)
+                while self._unlogged:
+                    epoch, applied = self._unlogged[0]
+                    store.log_batch(epoch, applied)
+                    self._unlogged.pop(0)
+            self._storage_failed = None
+            if registry.epoch != self._snapshot.epoch:
+                _collected, touched = registry.collect_touched()
+                published = take_snapshot(self.session)
+                self.cache.advance(registry.epoch, touched)
+                self._snapshot = published
+                with self._stats_lock:
+                    self._stats.epochs_published += 1
+
+    # ------------------------------------------------------------------
     # internals: answering
     # ------------------------------------------------------------------
-    def _answer(self, snapshot: ServiceSnapshot, selection: SelectionQuery) -> ServiceResult:
+    def _answer(
+        self,
+        snapshot: ServiceSnapshot,
+        selection: SelectionQuery,
+        deadline: Optional[float] = None,
+    ) -> ServiceResult:
         started = _now()
+        if deadline is not None and started >= deadline:
+            # covers time spent queued behind a saturated reader pool too:
+            # submit() stamps the deadline at submission, this runs later
+            self._record_timeout(selection, started)
+            raise QueryTimeout(
+                f"query on {selection.predicate} missed its deadline before evaluation began"
+            )
         cached = self.cache.get(snapshot.epoch, selection)
         if cached is not None:
             result = QueryResult(
@@ -594,7 +901,12 @@ class DatalogService:
             kind = "snapshot_lookups"
             engine_strategy = "snapshot-lookup"
         else:
-            result = answer(self.session.program, snapshot.as_database(), selection)
+            try:
+                with evaluation_deadline(deadline):
+                    result = answer(self.session.program, snapshot.as_database(), selection)
+            except QueryTimeout:
+                self._record_timeout(selection, started)
+                raise
             engine_strategy = result.strategy.split(" ", 1)[0]
             result.strategy = f"{result.strategy} @snapshot {snapshot.epoch}"
             kind = "fallback_evaluations"
@@ -611,6 +923,12 @@ class DatalogService:
             started,
         )
         return ServiceResult(result, snapshot.epoch, snapshot)
+
+    def _record_timeout(self, selection: SelectionQuery, started: float) -> None:
+        """Count one missed query deadline (kept off the pinned ServiceStats)."""
+        with self._stats_lock:
+            self.robust.query_timeouts += 1
+        self._observe_query("timeout", selection, started)
 
     def _observe_query(self, outcome: str, selection: SelectionQuery, started: float) -> None:
         """Record one answered query's latency (and maybe a slow-query span).
@@ -635,11 +953,44 @@ class DatalogService:
     # ------------------------------------------------------------------
     def _flush_loop(self) -> None:
         while True:
-            batch = self.queue.drain()
+            try:
+                batch = self.queue.drain()
+            except BaseException as exc:  # noqa: BLE001 - the loop itself must not die silently
+                self._flusher_fault(exc, batch=None)
+                return
             if batch is None:
                 return
-            if batch:
+            if not batch:
+                continue
+            try:
                 self._apply(batch)
+            except BaseException as exc:  # noqa: BLE001 - see _flusher_fault
+                self._flusher_fault(exc, batch=batch)
+
+    def _flusher_fault(self, exc: BaseException, batch) -> None:
+        """An exception escaped the flush loop outside batch apply.
+
+        This used to kill the flusher thread silently: waiters blocked until
+        a ``wait`` timeout or ``close()``'s stuck-flusher path, and nothing
+        recorded why.  Now the affected tickets fail crisply, the health
+        machine transitions, and — when the drain loop itself is still
+        sound — the flusher keeps serving later batches.  A failed *drain*
+        is not survivable (the loop cannot continue), so that path fails
+        everything pending and leaves the service DEGRADED without a probe:
+        with no flusher, returning to HEALTHY would accept writes nothing
+        will ever apply.
+        """
+        with self._stats_lock:
+            self.robust.flusher_faults += 1
+        if batch is None:
+            self.queue.fail_pending(exc)
+            if not self._closed:
+                self._set_health(DEGRADED)
+            return
+        for ticket in batch:
+            ticket.resolve(error=exc)
+        if not self._closed:
+            self._degrade(exc, storage=False)
 
     def _apply(self, batch) -> None:
         """Apply one drained batch as a single coalesced maintenance round.
@@ -663,11 +1014,24 @@ class DatalogService:
         span = self.tracer.span("flush", tickets=len(batch), writes=len(writes))
         span.__enter__()
         try:
-            if self._storage_failed is not None:
-                raise StorageError(
-                    "durable storage failed; the service refuses further writes: "
-                    f"{self._storage_failed}"
-                ) from self._storage_failed
+            if self._health != HEALTHY:
+                cause = self._storage_failed
+                if cause is not None and not self.retry_policy.retryable(cause):
+                    # permanent poison keeps the historical contract: refuse
+                    # outright (waiters see a FlushError), because publishing
+                    # epochs the disk never saw breaks the recovery contract
+                    raise StorageError(
+                        "durable storage failed; the service refuses further writes: "
+                        f"{cause}"
+                    ) from cause
+                with self._stats_lock:
+                    self.robust.writes_refused += len(writes)
+                raise ServiceDegraded(
+                    f"service is {self._health} (read-only); "
+                    "the write was refused and is safe to retry"
+                    + (f" (cause: {cause})" if cause is not None else "")
+                )
+            fire_fault("service.flush")
             applied: List[Tuple[str, str, Tuple[Row, ...]]] = []
             failure: Optional[BaseException] = None
             with registry.lock:
@@ -736,19 +1100,60 @@ class DatalogService:
     def _log_applied(
         self, epoch: int, applied: List[Tuple[str, str, Tuple[Row, ...]]]
     ) -> None:
-        """Durably log the ops this round applied; a failure poisons writes."""
-        try:
-            self.storage.log_batch(epoch, applied)
-        except BaseException as exc:  # noqa: BLE001 - storage death is terminal for writes
-            self._storage_failed = exc
-            raise
+        """Durably log the ops this round applied, retrying transient failures.
+
+        Runs under the registry lock (readers never take it, so backoff
+        sleeps here cost writers latency, not readers).  Each retry reopens
+        the log in a fresh segment first (:meth:`DurableStore.revive`) — the
+        old segment may hold a torn frame or a record whose fsync failed;
+        replay's epoch guard makes a duplicate of that record harmless.
+
+        On exhaustion the batch is parked on the unlogged backlog, the
+        service degrades (read-only) with a recovery probe pending, and the
+        batch's tickets fail with :class:`~repro.service.retry.RetryExhausted`
+        — retryable by contract: resubmitting the same rows after recovery
+        is idempotent.  A non-transient failure (a
+        :class:`~repro.storage.SimulatedCrash`, a logic error) skips the
+        retries and degrades without a probe — the historical poison-forever
+        contract, now observable as a health state.
+        """
+        store = self.storage
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                if attempt > 1:
+                    store.revive(epoch)
+                store.log_batch(epoch, applied)
+                return
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                last = exc
+                if not policy.retryable(exc) or attempt >= policy.max_attempts:
+                    break
+                with self._stats_lock:
+                    self.robust.retries += 1
+                time.sleep(policy.delay(attempt))
+                attempt += 1
+        if policy.retryable(last):
+            with self._stats_lock:
+                self.robust.retry_exhaustions += 1
+            self._unlogged.append((epoch, list(applied)))
+            error = RetryExhausted(attempt, last)
+            error.__cause__ = last
+            self._degrade(error, storage=True)
+            raise error
+        self._degrade(last, storage=True)
+        raise last
 
     def _maybe_compact(self, epoch: int) -> None:
         """Snapshot + WAL reset once the log backlog reaches the interval.
 
-        Runs after publication, so a compaction failure cannot fail the batch
-        whose writes are already durable and visible — it only poisons
-        *future* writes (the store is dead; nothing further can be logged).
+        Runs after publication, so a compaction failure cannot fail the
+        batch whose writes are already durable and visible.  A *transient*
+        failure that left the store alive (a failed snapshot write — the
+        store falls back to WAL-only operation) is counted and retried at
+        the next flush; anything that killed the store degrades the service
+        (with a recovery probe when the failure is transient).
         """
         store = self.storage
         if store is None or not store.should_compact():
@@ -757,7 +1162,13 @@ class DatalogService:
             with self.session.registry.lock:
                 store.compact(epoch, self.session.database.relations())
         except BaseException as exc:  # noqa: BLE001 - see docstring
-            self._storage_failed = exc
+            with self._stats_lock:
+                self.robust.compaction_failures += 1
+            if store.failure is None:
+                # the store survived (WAL-only fallback); stay HEALTHY —
+                # appends still work and the next flush retries compaction
+                return
+            self._degrade(exc, storage=True)
 
     def __str__(self) -> str:
         return f"DatalogService(epoch={self.epoch}, {self.session.view!s})"

@@ -9,7 +9,7 @@ text, struct-packed EDB relations — then resets the log.  Recovery is
 :meth:`~repro.service.DatalogService.open` drives it end to end.
 """
 
-from .errors import CorruptSnapshotError, SimulatedCrash, StorageError
+from .errors import CorruptSnapshotError, SimulatedCrash, StorageError, is_transient
 from .format import FORMAT_VERSION, MAGIC, frame, iter_frames, split_frames
 from .snapshot import (
     SnapshotData,
@@ -41,6 +41,7 @@ __all__ = [
     "iter_frames",
     "load_latest_snapshot",
     "segment_files",
+    "is_transient",
     "snapshot_files",
     "split_frames",
     "write_snapshot",

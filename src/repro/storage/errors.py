@@ -9,6 +9,8 @@ path until a recovery reopens the store).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..datalog.errors import ReproError
 
 
@@ -28,4 +30,32 @@ class SimulatedCrash(StorageError):
     snapshot publication (or just before the append).  A store that raised
     one refuses all further operations, exactly like a dead disk — the only
     way forward is :meth:`repro.service.DatalogService.open` on the path.
+    :func:`is_transient` therefore never classifies one as retryable.
     """
+
+
+#: exception types that model transient environment failures: a full or
+#: flaky disk (``OSError`` — ``ConnectionError`` is a subclass) or an
+#: operation that merely ran out of time
+_TRANSIENT_TYPES = (OSError, TimeoutError)
+
+
+def is_transient(error: Optional[BaseException]) -> bool:
+    """Whether ``error`` models a failure that retrying can plausibly fix.
+
+    Walks the ``__cause__``/``__context__`` chain, so a
+    ``StorageError("WAL append failed") from OSError(ENOSPC)`` classifies by
+    the ``OSError`` underneath.  :class:`SimulatedCrash` is *never* transient
+    (it models process death: the crash/restore contract requires the store
+    to stay dead), and neither is anything that is not an OS-level failure —
+    a ``RuntimeError`` or corrupt-data error signals a bug, not weather.
+    """
+    seen = set()
+    while error is not None and id(error) not in seen:
+        seen.add(id(error))
+        if isinstance(error, SimulatedCrash):
+            return False
+        if isinstance(error, _TRANSIENT_TYPES):
+            return True
+        error = error.__cause__ or error.__context__
+    return False

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from ..datalog.relation import Value
+from ..faults import fire as fire_fault
 from .errors import CorruptSnapshotError, StorageError
 from .format import FORMAT_VERSION, MAGIC, Reader, Writer, frame, split_frames
 
@@ -96,6 +97,10 @@ def write_snapshot(
     older = [existing for existing in snapshot_files(directory) if existing != path]
     try:
         with open(scratch, "wb") as handle:
+            # fires inside the scratch-write try: an injected failure leaves
+            # at most a dangling scratch file (cleaned up below) and never
+            # touches the live snapshot — same guarantee as a real crash
+            fire_fault("snapshot.write")
             handle.write(frame(writer.getvalue()))
             handle.flush()
             if fsync:

@@ -36,7 +36,8 @@ from ..engine.domain import Domain
 from ..engine.packing import pack_rows
 from ..obs.metrics import NullRegistry
 from ..obs.trace import NullTracer
-from .errors import SimulatedCrash, StorageError
+from ..faults import fire as fire_fault
+from .errors import SimulatedCrash, StorageError, is_transient
 from .format import OP_DELETE, OP_INSERT, RECORD_BATCH, Reader, Writer
 from .snapshot import load_latest_snapshot, write_snapshot
 from .wal import WriteAheadLog, segment_files
@@ -84,6 +85,8 @@ class StorageStats:
     wal_segments: int = 0
     #: bytes written to the active segment so far (ditto)
     active_segment_bytes: int = 0
+    #: successful :meth:`DurableStore.revive` calls (transient-failure recoveries)
+    revivals: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -94,6 +97,7 @@ class StorageStats:
             "records_replayed": self.records_replayed,
             "wal_segments": self.wal_segments,
             "active_segment_bytes": self.active_segment_bytes,
+            "revivals": self.revivals,
         }
 
 
@@ -133,6 +137,11 @@ class DurableStore:
         self._program_text: Optional[str] = None
         self._records_since_compact = 0
         self._failure: Optional[BaseException] = None
+        #: how much of ``domain`` is covered by durable records/snapshots; a
+        #: *failed* append leaves its interned values below this watermark
+        #: unadvanced, so the revived retry record carries them again — the
+        #: torn record that was supposed to define them is gone from replay
+        self._durable_values = 0
         #: crash-injection hooks (testing): 1-based append ordinal to die at
         self.crash_before_append: Optional[int] = None
         self.crash_after_append: Optional[int] = None
@@ -226,6 +235,11 @@ class DurableStore:
     def attached(self) -> bool:
         return self._attached
 
+    @property
+    def failure(self) -> Optional[BaseException]:
+        """The exception that killed the store, or ``None`` while it lives."""
+        return self._failure
+
     def _ensure_alive(self) -> None:
         if self._failure is not None:
             raise StorageError(
@@ -235,6 +249,33 @@ class DurableStore:
     def _die(self, exc: BaseException) -> None:
         self._failure = exc
         raise exc
+
+    def revive(self, epoch: int) -> None:
+        """Clear a *transient* failure and reopen the log in a fresh segment.
+
+        The graceful-degradation counterpart of :meth:`_die`: after an
+        ``ENOSPC``/``EIO``-style append failure the file handle's position
+        (and possibly a torn frame) is untrusted, so appends must never
+        continue in the old segment — a fresh segment restores the "never
+        append after a possibly-torn tail" invariant, and replay's epoch
+        guard makes any duplicate of the failed record harmless.  Raises
+        ``StorageError`` when the failure is not transient (a
+        :class:`SimulatedCrash` or a logic error keeps the store dead) or
+        when the disk is still refusing writes.  A no-op on a live store.
+        """
+        if not self._attached:
+            raise StorageError("store is not attached to a service")
+        failure = self._failure
+        if failure is None:
+            return
+        if not is_transient(failure):
+            raise StorageError(
+                f"store {self.directory} failure is not recoverable: {failure}"
+            ) from failure
+        self.wal.start_segment(epoch)
+        self._failure = None
+        self.stats.revivals += 1
+        self._refresh_wal_stats(scan=True)
 
     # ------------------------------------------------------------------
     # recovery
@@ -369,6 +410,7 @@ class DurableStore:
             self._write_snapshot(epoch, database.relations())
         self.wal.start_segment(epoch)
         self._records_since_compact = replayed_records
+        self._durable_values = len(self.domain)
         self._attached = True
         self._refresh_wal_stats(scan=True)
 
@@ -390,7 +432,7 @@ class DurableStore:
         ordinal = self._append_attempts
         if self.crash_before_append == ordinal:
             self._die(SimulatedCrash(f"simulated crash before WAL append #{ordinal}"))
-        first_code = len(self.domain)
+        first_code = self._durable_values
         intern = self.domain.intern
         writer = Writer()
         writer.u8(RECORD_BATCH)
@@ -416,8 +458,13 @@ class DurableStore:
         try:
             written = self.wal.append(writer.getvalue())
         except BaseException as exc:  # noqa: BLE001 - a failed append kills the store
-            self._die(StorageError(f"WAL append failed: {exc}"))
+            # chained via __cause__ (not just __context__) so retry policies
+            # can classify the wrapped OSError as transient
+            error = StorageError(f"WAL append failed: {exc}")
+            error.__cause__ = exc
+            self._die(error)
         self._append_seconds.observe(time.perf_counter() - started)
+        self._durable_values = len(self.domain)
         self.stats.records_appended += 1
         self.stats.bytes_appended += written
         self.stats.rows_logged += rows_logged
@@ -438,21 +485,44 @@ class DurableStore:
         )
 
     def compact(self, epoch: int, relations: Iterable[Relation]) -> Path:
-        """Write a covering snapshot, then reset the WAL to a fresh segment."""
+        """Write a covering snapshot, then reset the WAL to a fresh segment.
+
+        A *transient* failure while writing the covering snapshot does not
+        kill the store: the WAL is untouched and still appending, the
+        previous snapshot is still intact on disk (the writer is atomic), so
+        the store simply keeps operating WAL-only — ``should_compact`` stays
+        true and the next flush retries.  The raised ``StorageError``
+        carries the cause so callers can classify it.  A failure *after*
+        the snapshot — during the WAL reset — still kills the store: the
+        log's state is no longer trustworthy for appends.
+        """
         if not self._attached:
             raise StorageError("store is not attached to a service")
         self._ensure_alive()
         started = time.perf_counter()
         with self._tracer.span("compaction", epoch=epoch):
             try:
+                fire_fault("store.compact")
                 path = self._write_snapshot(epoch, relations)
-                self.wal.reset(epoch)
-            except BaseException as exc:  # noqa: BLE001 - a failed compaction kills the store
+            except BaseException as exc:  # noqa: BLE001 - transient => postponed, else dead
+                if is_transient(exc):
+                    error = StorageError(
+                        f"snapshot write failed; compaction postponed: {exc}"
+                    )
+                    error.__cause__ = exc
+                    raise error
                 if isinstance(exc, StorageError):
                     self._die(exc)
                 self._die(StorageError(f"compaction failed: {exc}"))
+            try:
+                self.wal.reset(epoch)
+            except BaseException as exc:  # noqa: BLE001 - a failed reset kills the store
+                error = StorageError(f"WAL reset after compaction failed: {exc}")
+                error.__cause__ = exc
+                self._die(error)
         self._compaction_seconds.observe(time.perf_counter() - started)
         self._records_since_compact = 0
+        self._durable_values = len(self.domain)
         self.stats.compactions += 1
         self._refresh_wal_stats(scan=True)
         return path

@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional
 
+from ..faults import fire as fire_fault
 from .errors import StorageError
 from .format import (
     FORMAT_VERSION,
@@ -124,6 +125,7 @@ class WriteAheadLog:
 
     def start_segment(self, epoch: int) -> Path:
         """Open a fresh segment for appends (leaving older segments sealed)."""
+        fire_fault("wal.start_segment")
         if self._handle is not None:
             self._handle.close()
         name = f"wal-{epoch:016d}-{self._next_sequence():06d}.log"
@@ -146,9 +148,20 @@ class WriteAheadLog:
         if self._handle is None:
             raise StorageError("write-ahead log has no open segment")
         data = frame(payload)
+        torn = fire_fault("wal.append")
+        if torn is not None:
+            # a torn append: part of the frame reaches the file (recovery's
+            # torn-tail handling must cope with it), then the write fails
+            self._handle.write(data[: max(1, int(len(data) * torn.fraction))])
+            self._handle.flush()
+            raise torn.make_error()
         self._handle.write(data)
         self._handle.flush()
         if self.fsync:
+            # fires *after* the frame is durably buffered: a failure here
+            # models "the write succeeded but fsync did not" — the record may
+            # or may not be on disk, and the caller must treat it as absent
+            fire_fault("wal.fsync")
             if self.observe_fsync is not None:
                 started = time.perf_counter()
                 os.fsync(self._handle.fileno())

@@ -1,5 +1,13 @@
 """Randomized differential testing: seeded case generation + cross-engine diffing."""
 
+from .chaos import (
+    ChaosCase,
+    ChaosReport,
+    generate_chaos_case,
+    generate_chaos_cases,
+    run_chaos_batch,
+    run_chaos_case,
+)
 from .concurrent import (
     ConcurrentCase,
     ConcurrentReport,
@@ -28,6 +36,8 @@ from .updates import (
 
 __all__ = [
     "FAMILIES",
+    "ChaosCase",
+    "ChaosReport",
     "ConcurrentCase",
     "ConcurrentReport",
     "CrashCase",
@@ -39,12 +49,16 @@ __all__ = [
     "UpdateStep",
     "generate_case",
     "generate_cases",
+    "generate_chaos_case",
+    "generate_chaos_cases",
     "generate_concurrent_case",
     "generate_crash_case",
     "generate_crash_cases",
     "generate_update_sequence",
     "generate_update_sequences",
     "run_batch",
+    "run_chaos_batch",
+    "run_chaos_case",
     "run_concurrent_batch",
     "run_concurrent_case",
     "run_crash_case",

@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic fault-injection registry (repro.faults)."""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+
+import pytest
+
+from repro.faults import KNOWN_SITES, FaultAction, FaultPlan, active, fire, inject
+
+
+# ----------------------------------------------------------------------
+# actions
+# ----------------------------------------------------------------------
+class TestFaultAction:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action kind"):
+            FaultAction("explode")
+
+    def test_enospc_and_eio_carry_their_errno(self):
+        enospc = FaultAction.enospc().make_error()
+        eio = FaultAction.eio().make_error()
+        assert isinstance(enospc, OSError) and enospc.errno == errno.ENOSPC
+        assert isinstance(eio, OSError) and eio.errno == errno.EIO
+
+    def test_error_factory_makes_a_fresh_exception_each_time(self):
+        action = FaultAction.eio()
+        assert action.make_error() is not action.make_error()
+
+    def test_torn_defaults_to_enospc_and_keeps_the_fraction(self):
+        action = FaultAction.torn(0.25)
+        assert action.kind == FaultAction.TORN
+        assert action.fraction == 0.25
+        assert action.make_error().errno == errno.ENOSPC
+
+
+# ----------------------------------------------------------------------
+# plans and ordinals
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_ordinals_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan().at("wal.append", 0, FaultAction.eio())
+
+    def test_error_fires_only_on_its_scheduled_ordinal(self):
+        plan = FaultPlan().at("wal.append", 2, FaultAction.eio())
+        assert plan.fire("wal.append") is None  # 1st traversal: clean
+        with pytest.raises(OSError):
+            plan.fire("wal.append")  # 2nd: scheduled error
+        assert plan.fire("wal.append") is None  # 3rd: clean again
+        assert plan.hits("wal.append") == 3
+        assert plan.fired == [("wal.append", 2, "error")]
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan().at("wal.fsync", 1, FaultAction.eio())
+        assert plan.fire("wal.append") is None  # other sites untouched
+        with pytest.raises(OSError):
+            plan.fire("wal.fsync")
+        assert plan.hits("wal.append") == 1
+        assert plan.hits("wal.fsync") == 1
+
+    def test_during_schedules_a_window(self):
+        plan = FaultPlan().during("wal.append", range(2, 4), FaultAction.eio())
+        assert plan.fire("wal.append") is None
+        for _ in range(2):
+            with pytest.raises(OSError):
+                plan.fire("wal.append")
+        assert plan.fire("wal.append") is None
+        assert [ordinal for _s, ordinal, _k in plan.fired] == [2, 3]
+
+    def test_torn_actions_are_returned_to_the_site(self):
+        plan = FaultPlan().at("wal.append", 1, FaultAction.torn(0.5))
+        action = plan.fire("wal.append")
+        assert action is not None and action.kind == FaultAction.TORN
+        assert plan.fired == [("wal.append", 1, "torn")]
+
+    def test_delay_sleeps_at_the_site_and_is_not_a_failure(self):
+        plan = FaultPlan().at("service.flush", 1, FaultAction.delay(0.05))
+        started = time.monotonic()
+        assert plan.fire("service.flush") is None
+        assert time.monotonic() - started >= 0.04
+        assert plan.fired == [("service.flush", 1, "delay")]
+        assert plan.error_kinds_fired() == 0
+
+    def test_error_kinds_fired_counts_errors_and_torn_only(self):
+        plan = (
+            FaultPlan()
+            .at("wal.append", 1, FaultAction.torn())
+            .at("wal.append", 2, FaultAction.delay(0.0))
+            .at("wal.append", 3, FaultAction.eio())
+        )
+        plan.fire("wal.append")
+        plan.fire("wal.append")
+        with pytest.raises(OSError):
+            plan.fire("wal.append")
+        assert plan.error_kinds_fired() == 2
+
+    def test_ordinal_counting_is_thread_safe(self):
+        plan = FaultPlan()
+        workers = [
+            threading.Thread(
+                target=lambda: [plan.fire("wal.append") for _ in range(200)]
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert plan.hits("wal.append") == 800
+
+
+# ----------------------------------------------------------------------
+# global activation
+# ----------------------------------------------------------------------
+class TestInject:
+    def test_fire_is_a_noop_without_an_active_plan(self):
+        assert active() is None
+        for site in KNOWN_SITES:
+            assert fire(site) is None
+
+    def test_inject_activates_then_deactivates(self):
+        plan = FaultPlan().at("wal.append", 1, FaultAction.eio())
+        with inject(plan) as injected:
+            assert injected is plan
+            assert active() is plan
+            with pytest.raises(OSError):
+                fire("wal.append")
+        assert active() is None
+        assert fire("wal.append") is None  # counted nothing, raised nothing
+        assert plan.hits("wal.append") == 1
+
+    def test_plans_do_not_nest(self):
+        with inject(FaultPlan()):
+            with pytest.raises(RuntimeError, match="do not nest"):
+                with inject(FaultPlan()):
+                    pass  # pragma: no cover
+        assert active() is None
+
+    def test_plan_is_deactivated_even_when_the_body_raises(self):
+        with pytest.raises(KeyError):
+            with inject(FaultPlan()):
+                raise KeyError("boom")
+        assert active() is None

@@ -17,6 +17,7 @@ import pytest
 
 from repro import Database, DatalogService, Relation
 from repro.engine.domain import Domain
+from repro.faults import FaultAction, FaultPlan, inject
 from repro.incremental.session import as_rows
 from repro.service import FlushError, FlushPolicy, ServiceClosed
 from repro.storage import (
@@ -415,6 +416,102 @@ class TestDurableStore:
         wal.close()
         with pytest.raises(StorageError, match="no snapshot"):
             DurableStore(tmp_path, fast_config()).recover()
+
+
+class TestStorageErrorPaths:
+    """Injected disk failures: torn appends, fsync faults, snapshot faults."""
+
+    def _seeded(self, tmp_path, **config):
+        store = DurableStore(tmp_path, fast_config(**config))
+        database = Database()
+        database.declare("edge", 2).add_all([(1, 2), (2, 3)])
+        store.attach(TC, database, 0)
+        return store, database
+
+    def test_enospc_tears_the_frame_and_recovery_drops_it(self, tmp_path):
+        """ENOSPC mid-frame: partial bytes stay on disk, replay skips them."""
+        store, _db = self._seeded(tmp_path)
+        segment = segment_files(tmp_path)[-1]
+        empty_size = segment.stat().st_size
+        with inject(FaultPlan().at("wal.append", 1, FaultAction.torn())):
+            with pytest.raises(StorageError, match="append failed") as info:
+                store.log_batch(1, [("insert", "edge", [(4, 4)])])
+        cause = info.value.__cause__
+        assert isinstance(cause, OSError)
+        assert store.failure is not None
+        # the torn bytes really are in the file — a half-written frame
+        assert segment.stat().st_size > empty_size
+        with pytest.raises(StorageError, match="dead"):
+            store.log_batch(2, [("insert", "edge", [(5, 5)])])
+        store.close()
+        recovered = DurableStore(tmp_path, fast_config()).recover()
+        assert recovered.epoch == 0  # the torn record never happened
+        assert (4, 4) not in recovered.database.relation("edge").rows()
+
+    def test_revive_reopens_a_fresh_segment_after_a_torn_append(self, tmp_path):
+        """revive(): appends never continue after a possibly-torn tail."""
+        store, _db = self._seeded(tmp_path)
+        with inject(FaultPlan().at("wal.append", 1, FaultAction.torn())):
+            with pytest.raises(StorageError):
+                store.log_batch(1, [("insert", "edge", [(4, 4)])])
+        torn_segment = segment_files(tmp_path)[-1]
+        store.revive(0)
+        assert store.failure is None
+        assert store.stats.revivals == 1
+        assert segment_files(tmp_path)[-1] != torn_segment
+        store.log_batch(1, [("insert", "edge", [(4, 4)])])
+        store.close()
+        recovered = DurableStore(tmp_path, fast_config()).recover()
+        assert recovered.epoch == 1
+        assert (4, 4) in recovered.database.relation("edge").rows()
+
+    def test_fsync_failure_after_a_complete_write_is_retryable(self, tmp_path):
+        """The frame is fully written when fsync fails; a revived re-append
+        duplicates it and replay's epoch guard makes the duplicate a no-op."""
+        store, _db = self._seeded(tmp_path, fsync=True)
+        batch = [("insert", "edge", [(4, 4)])]
+        with inject(FaultPlan().at("wal.fsync", 1, FaultAction.eio())):
+            with pytest.raises(StorageError, match="append failed") as info:
+                store.log_batch(1, batch)
+        assert isinstance(info.value.__cause__, OSError)
+        store.revive(0)
+        store.log_batch(1, batch)  # the retry a RetryPolicy would issue
+        store.close()
+        recovered = DurableStore(tmp_path, fast_config(fsync=True)).recover()
+        assert recovered.epoch == 1
+        assert (4, 4) in recovered.database.relation("edge").rows()
+
+    def test_snapshot_write_failure_postpones_compaction(self, tmp_path):
+        """A transient snapshot fault leaves the store alive, WAL-only."""
+        store, database = self._seeded(tmp_path, snapshot_interval=1)
+        store.log_batch(1, [("insert", "edge", [(4, 4)])])
+        database.insert_facts("edge", [(4, 4)])
+        assert store.should_compact()
+        with inject(FaultPlan().at("snapshot.write", 1, FaultAction.eio())):
+            with pytest.raises(StorageError, match="postponed") as info:
+                store.compact(1, database.relations())
+        assert isinstance(info.value.__cause__, OSError)
+        assert store.failure is None  # alive: WAL-only fallback
+        assert store.should_compact()  # the backlog still wants compacting
+        store.log_batch(2, [("insert", "edge", [(5, 5)])])  # appends still work
+        database.insert_facts("edge", [(5, 5)])
+        store.compact(2, database.relations())  # next attempt succeeds
+        assert store.stats.compactions == 1
+        store.close()
+        recovered = DurableStore(tmp_path, fast_config()).recover()
+        assert recovered.epoch == 2
+        assert recovered.snapshot_epoch == 2
+        assert (5, 5) in recovered.database.relation("edge").rows()
+
+    def test_revive_refuses_a_simulated_crash(self, tmp_path):
+        store, _db = self._seeded(tmp_path)
+        store.crash_before_append = 1
+        with pytest.raises(SimulatedCrash):
+            store.log_batch(1, [("insert", "edge", [(4, 4)])])
+        with pytest.raises(StorageError, match="not recoverable"):
+            store.revive(0)
+        assert store.failure is not None
+        store.close()
 
 
 # ----------------------------------------------------------------------
