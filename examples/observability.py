@@ -9,7 +9,10 @@ plays the operator:
    ``repro_service_*`` values agree with ``service.stats`` by construction,
 2. probe ``/healthz`` — flusher alive, storage sound, epochs advancing,
 3. read ``/statusz`` — the JSON merge of the service/storage/engine stats,
-4. inspect the tracer: flush spans, the slow-query log, and a JSONL export.
+4. inspect the tracer: flush spans, the slow-query log, and a JSONL export,
+5. EXPLAIN a query (``repro.explain`` — the plan, without running it), then
+   EXPLAIN ANALYZE it (``query(..., profile=True)`` — the same profile
+   filled in by a real run) and read it back from ``/debug/queries``.
 
 Run with:  PYTHONPATH=src python examples/observability.py
 """
@@ -20,7 +23,7 @@ import io
 import json
 import urllib.request
 
-from repro import Database, DatalogService
+from repro import Database, DatalogService, explain
 
 PROGRAM = """
 reach(X, Y) :- hop(X, Z), reach(Z, Y).
@@ -95,6 +98,32 @@ def main() -> None:
         exported = service.tracer.export_jsonl(buffer)
         print(f"  exported {exported} spans as JSONL "
               f"({len(buffer.getvalue())} bytes)")
+
+        # 5a. EXPLAIN — predict the strategy and describe the compiled plans
+        #     without touching a single stored tuple
+        plan = explain(
+            service.session.program, "reach(0, Y)?", service.snapshot().as_database()
+        )
+        print("\n— EXPLAIN reach(0, Y)? —")
+        print("  " + plan.render().replace("\n", "\n  "))
+
+        # 5b. EXPLAIN ANALYZE — the same profile, filled in by a real run:
+        #     strategy actually taken, dispatch decisions, timings, stats,
+        #     cache outcome, and a trace ID shared with spans and slow-query
+        #     records
+        result = service.query("reach(5, Y)?", profile=True)
+        print("\n— EXPLAIN ANALYZE reach(5, Y)? —")
+        print("  " + result.profile.render().replace("\n", "\n  "))
+
+        # 5c. /debug/queries — the flight recorder replays recent profiles
+        #     (and lists in-flight queries, live) for any operator with curl
+        debug = json.loads(fetch(server.url("/debug/queries")))
+        print(f"\n— /debug/queries — {debug['profiles_recorded']} profiles "
+              f"recorded, {len(debug['in_flight'])} in flight")
+        for profile in debug["recent_profiles"]:
+            print(f"  {profile['trace_id']}  {profile['query']}  "
+                  f"-> {profile['strategy']} ({profile['outcome']}, "
+                  f"cache={profile['cache']})")
 
 
 if __name__ == "__main__":

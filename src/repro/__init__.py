@@ -78,12 +78,15 @@ from .optimize import (
 )
 from .incremental import MaterializedView, Session, ViewProvenance, ViewRegistry
 from .obs import (
+    FlightRecorder,
     MetricsRegistry,
     NullRegistry,
     NullTracer,
     ObservabilityServer,
+    QueryProfile,
     Span,
     Tracer,
+    explain,
 )
 from .service import (
     DatalogService,
@@ -115,6 +118,7 @@ __all__ = [
     "EvaluationStats",
     "FaultAction",
     "FaultPlan",
+    "FlightRecorder",
     "FlushError",
     "FlushPolicy",
     "MaterializedView",
@@ -129,6 +133,7 @@ __all__ = [
     "ParseError",
     "Program",
     "ProgramError",
+    "QueryProfile",
     "QueryResult",
     "QueryTimeout",
     "Relation",
@@ -168,6 +173,7 @@ __all__ = [
     "detect_one_sided",
     "estimate_sidedness",
     "expand",
+    "explain",
     "expand_general",
     "henschen_naqvi_selection",
     "inject_faults",

@@ -55,10 +55,12 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left
 from itertools import repeat
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..datalog.relation import Relation, Row
 from .flags import EngineFlag
+from .instrumentation import active_profile
 from .packing import pack_columns
 
 __all__ = [
@@ -699,9 +701,17 @@ class _GroupExecutor:
     the kernel loop, minus the per-row dispatch.
     """
 
+    #: the score below which the adaptive decision falls back to the kernel
+    #: loop (average partition × bucket fan-out ~1 means batching is pure
+    #: overhead)
+    PROFIT_THRESHOLD = 2.0
+
     def __init__(self, group, batch_plans, relations, derived, current):
         self.group = list(group)
         self.batch_plans = batch_plans
+        #: the stratum's position in evaluation order, stamped by the
+        #: semi-naive driver so profile iteration samples can name it
+        self.stratum_index = 0
         self.derived = derived
         self.derived_parts = {p: _partition(derived[p].rows()) for p in group}
         # at stratum entry the delta IS the derived state (pre-existing rows
@@ -778,7 +788,11 @@ class _GroupExecutor:
 
     # -- the adaptive decision -------------------------------------------
     def looks_profitable(self) -> bool:
-        """Predict whether batching beats the kernel loop on this workload.
+        """Predict whether batching beats the kernel loop on this workload."""
+        return self.profit_score() >= self.PROFIT_THRESHOLD
+
+    def profit_score(self) -> float:
+        """The adaptive profitability score driving :meth:`looks_profitable`.
 
         Batch execution amortizes per-probe overhead across a partition ×
         bucket block; when both fan-outs are ~1 (chains) the blocks are
@@ -805,7 +819,7 @@ class _GroupExecutor:
             score = avg_part * avg_bucket
             if score > best:
                 best = score
-        return best >= 2.0
+        return best
 
     # -- the fixpoint ----------------------------------------------------
     def run(self, stats) -> None:
@@ -823,12 +837,17 @@ class _GroupExecutor:
         plan_counts: Dict[str, int] = {}
         for bp in self.batch_plans:
             plan_counts[bp.head] = plan_counts.get(bp.head, 0) + 1
+        profile = active_profile()
+        iteration = 0
         while True:
             total = sum(self.sizes[p] for p in group)
             if not total:
                 break
             stats.record_iteration()
             stats.record_state(total, total * 2)
+            if profile is not None:
+                iteration += 1
+                round_started = perf_counter()
             round_new: Dict[str, Dict] = {}
             deferred: Dict[str, bool] = {}
             for bp in self.batch_plans:
@@ -876,6 +895,10 @@ class _GroupExecutor:
                     touched[predicate] = True
                 self.current_parts[predicate] = fresh
                 self.sizes[predicate] = added
+            if profile is not None:
+                profile.record_iteration(
+                    self.stratum_index, iteration, total, perf_counter() - round_started
+                )
         for predicate in group:
             if touched[predicate]:
                 rows: Set[Row] = set()

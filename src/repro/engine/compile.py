@@ -44,7 +44,7 @@ from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Variable
 from .columnar import columnar_enabled, leapfrog_join, wcoj_eligible
 from .cq_eval import plan_order
-from .instrumentation import EvaluationStats
+from .instrumentation import EvaluationStats, active_profile
 from .kernels import build_kernel, kernels_enabled
 
 RelationMap = Mapping[str, Relation]
@@ -216,10 +216,15 @@ class CompiledRule:
         given.
         """
         initial = self._initial(bindings)
+        profile = active_profile()
         if kernels_enabled():
             resolved = self._resolve(relations, overrides)
             if resolved is not None:
+                if profile is not None:
+                    profile.record_dispatch(self, "kernel")
                 return self._kernel(False)(resolved, initial, stats)
+        if profile is not None:
+            profile.record_dispatch(self, "interpreted")
         return self._join_interpreted(relations, stats, overrides, initial)
 
     def _join_interpreted(
@@ -289,6 +294,7 @@ class CompiledRule:
         """Head tuples derived by one application of the compiled rule."""
         if not self.producible:
             return set()
+        profile = active_profile()
         if overrides is None and bindings is None and columnar_enabled():
             # worst-case-optimal dispatch: cyclic nonrecursive bodies (e.g.
             # the triangle query) run the leapfrog join, whose tuple visits
@@ -296,6 +302,10 @@ class CompiledRule:
             # intermediate size (see repro.engine.columnar)
             resolved = wcoj_eligible(self, relations)
             if resolved is not None:
+                if profile is not None:
+                    profile.record_dispatch(
+                        self, "leapfrog", "cyclic body, worst-case-optimal"
+                    )
                 result = leapfrog_join(self, resolved, stats)
                 if stats is not None:
                     stats.record_produced(len(result))
@@ -304,12 +314,18 @@ class CompiledRule:
             initial = self._initial(bindings)
             resolved = self._resolve(relations, overrides)
             if resolved is not None:
+                if profile is not None:
+                    profile.record_dispatch(self, "kernel")
                 result = self._kernel(True)(resolved, initial, stats)
                 if stats is not None:
                     stats.record_produced(len(result))
                 return result
+            if profile is not None:
+                profile.record_dispatch(self, "interpreted", "unresolved body relation")
             assignments = self._join_interpreted(relations, stats, overrides, initial)
         else:
+            if profile is not None:
+                profile.record_dispatch(self, "interpreted")
             assignments = self._join_interpreted(relations, stats, overrides, self._initial(bindings))
         head_ops = self.head_ops
         result = set()
@@ -437,6 +453,7 @@ class PlanCache:
         """The memoized compiled plan; compiles (and counts it) on first use."""
         key = (rule, first, bound)
         plan = self._plans.get(key)
+        profile = active_profile()
         if plan is None:
             plan = compile_rule(rule, relations, bound=bound, first=first)
             if self._max_plans is not None and len(self._plans) >= self._max_plans:
@@ -444,6 +461,10 @@ class PlanCache:
             self._plans[key] = plan
             if stats is not None:
                 stats.record_plans_compiled()
+            if profile is not None:
+                profile.record_plan_cache(False)
+        elif profile is not None:
+            profile.record_plan_cache(True)
         return plan
 
     def __len__(self) -> int:

@@ -71,6 +71,55 @@ def evaluation_deadline(deadline: Optional[float]):
         _deadline_local.value = previous
 
 
+# ----------------------------------------------------------------------
+# per-query trace context: trace ID + profile recorder
+# ----------------------------------------------------------------------
+# The same thread-local channel idiom as the deadline above, reused for
+# query-level observability: the serving layer (or ``answer(profile=True)``)
+# arms a trace ID and optionally a profile recorder around one query's
+# evaluation in one thread.  Engine hot paths then ask two one-``getattr``
+# questions — "is a trace armed?" for span/slow-log stamping, and "is a
+# profile armed?" before recording a dispatch decision or an iteration
+# sample — so a query that is neither traced nor profiled pays a ``None``
+# check and nothing else.  The recorder is deliberately opaque here (it is a
+# :class:`repro.obs.profile.ProfileRecorder`); the engine talks to it duck
+# typed, keeping ``repro.engine`` free of any import of ``repro.obs``.
+_trace_local = threading.local()
+
+
+def active_trace_id() -> Optional[str]:
+    """The calling thread's armed per-query trace ID, if any."""
+    return getattr(_trace_local, "trace_id", None)
+
+
+def active_profile():
+    """The calling thread's armed profile recorder, if any."""
+    return getattr(_trace_local, "profile", None)
+
+
+@contextmanager
+def query_trace(trace_id: Optional[str], profile=None):
+    """Arm a per-query trace ID (and optional profile recorder) for this thread.
+
+    Nested arming stacks: the previous pair is always restored on exit, so a
+    reader-pool thread never leaks one query's trace context into the next.
+    Passing ``trace_id=None`` with ``profile=None`` is a no-op passthrough.
+    """
+    if trace_id is None and profile is None:
+        yield
+        return
+    previous = (
+        getattr(_trace_local, "trace_id", None),
+        getattr(_trace_local, "profile", None),
+    )
+    _trace_local.trace_id = trace_id if trace_id is not None else previous[0]
+    _trace_local.profile = profile if profile is not None else previous[1]
+    try:
+        yield
+    finally:
+        _trace_local.trace_id, _trace_local.profile = previous
+
+
 @dataclass
 class EvaluationStats:
     """Counters accumulated during one evaluation run."""

@@ -46,6 +46,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .flags import EngineFlag
+from .instrumentation import active_profile
 
 __all__ = [
     "build_kernel",
@@ -177,6 +178,9 @@ _FUNCTION_CACHE_LIMIT = 4096
 
 def build_kernel(plan, project: bool) -> Callable:
     """One generated kernel for ``plan`` (eval when ``project``, else join)."""
+    profile = active_profile()
+    if profile is not None:
+        profile.record_kernel_built(plan)
     source, env = _emit(plan, project)
     try:
         key = (source, tuple(sorted(env.items())))

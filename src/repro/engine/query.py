@@ -129,6 +129,9 @@ class QueryResult:
     #: optimizer provenance (an :class:`repro.optimize.passes.OptimizationResult`)
     #: when the query went through :func:`answer`; ``None`` otherwise
     provenance: Optional[object] = field(default=None, repr=False, compare=False)
+    #: the EXPLAIN ANALYZE record (a :class:`repro.obs.profile.QueryProfile`)
+    #: when the query ran with ``profile=True``; ``None`` otherwise
+    profile: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.answers)
@@ -176,6 +179,8 @@ def answer(
     optimizer: Optional[object] = None,
     max_unfold_depth: int = 8,
     counting_depth: int = 2_000,
+    profile: bool = False,
+    trace_id: Optional[str] = None,
 ) -> QueryResult:
     """Answer a selection query through the optimizer: rewrite, then evaluate.
 
@@ -196,6 +201,14 @@ def answer(
        as ``result.provenance``, so callers can see exactly which rewrites
        fired (``result.provenance.describe()``).
 
+    ``profile=True`` is EXPLAIN ANALYZE: the evaluation runs with a
+    :class:`repro.obs.profile.ProfileRecorder` armed on the thread-local
+    channel, and the finished :class:`~repro.obs.profile.QueryProfile` —
+    dispatch decisions, iteration timings, rewrites, the result's own stats —
+    is attached as ``result.profile``.  ``trace_id`` stamps the profile and
+    every span the evaluation emits (one is generated when profiling without
+    an explicit ID).
+
     Forcing ``strategy="unfolded"`` raises
     :class:`~repro.datalog.errors.EvaluationError` when no boundedness
     witness exists within ``max_unfold_depth``; the other named strategies
@@ -204,6 +217,46 @@ def answer(
     """
     selection = as_selection_query(program, query)
 
+    if profile or trace_id is not None:
+        from time import perf_counter
+
+        from ..obs.profile import ProfileRecorder
+        from .instrumentation import query_trace
+
+        recorder = ProfileRecorder(str(selection), trace_id=trace_id) if profile else None
+        armed_trace = recorder.trace_id if recorder is not None else trace_id
+        started = perf_counter()
+        with query_trace(armed_trace, recorder):
+            result = _answer_selection(
+                program, database, selection, strategy, optimizer,
+                max_unfold_depth, counting_depth,
+            )
+        if recorder is not None:
+            result.profile = recorder.build(
+                strategy=result.strategy,
+                stats=result.stats,
+                outcome="ok",
+                execution_seconds=perf_counter() - started,
+                provenance=result.provenance,
+            )
+        return result
+
+    return _answer_selection(
+        program, database, selection, strategy, optimizer,
+        max_unfold_depth, counting_depth,
+    )
+
+
+def _answer_selection(
+    program: Program,
+    database: Database,
+    selection: SelectionQuery,
+    strategy: str,
+    optimizer: Optional[object],
+    max_unfold_depth: int,
+    counting_depth: int,
+) -> QueryResult:
+    """The strategy ladder behind :func:`answer` (selection already coerced)."""
     if strategy in _FORCED_PLANNER_STRATEGIES:
         from ..core.planner import answer_query
 

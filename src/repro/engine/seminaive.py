@@ -17,6 +17,7 @@ evaluates directly over the user values instead.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.database import Database
@@ -25,8 +26,16 @@ from ..datalog.rules import Program
 from .columnar import build_group_executor, columnar_enabled, columnar_forced
 from .compile import PlanCache, compile_delta_variants, compile_program_rules
 from .domain import Domain, engine_relations, intern_plan, intern_plans
-from .instrumentation import EvaluationStats
+from .instrumentation import EvaluationStats, active_profile
 from .strata import cached_evaluation_strata, evaluation_strata, group_is_recursive
+
+#: stable detail strings for profile `StratumDecision` records (asserted by
+#: the differential harness's profile-consistency checks, so keep them fixed)
+DECISION_COLUMNAR_OFF = "columnar-off"
+DECISION_NO_TEMPLATE = "no-batch-template"
+DECISION_FORCED = "forced"
+DECISION_PROFITABLE = "score>=threshold"
+DECISION_UNPROFITABLE = "score<threshold"
 
 
 def seminaive_evaluate(
@@ -51,8 +60,8 @@ def seminaive_evaluate(
             derived[predicate].union_update(relations[predicate].rows())
         relations[predicate] = derived[predicate]
 
-    for group in evaluation_strata(program):
-        _evaluate_group(program, group, relations, derived, stats, domain)
+    for stratum, group in enumerate(evaluation_strata(program)):
+        _evaluate_group(program, group, relations, derived, stats, domain, stratum)
 
     if domain is not None:
         derived = {p: domain.decode_relation(r) for p, r in derived.items()}
@@ -67,8 +76,12 @@ def _evaluate_group(
     derived: Dict[str, Relation],
     stats: EvaluationStats,
     domain: Optional[Domain] = None,
+    stratum: int = 0,
 ) -> None:
     """Evaluate one stratum (a set of mutually recursive predicates) to fixpoint."""
+    profile = active_profile()
+    if profile is not None:
+        profile.record_stratum(stratum, group)
     group_set = set(group)
     rules = [rule for predicate in group for rule in program.rules_for(predicate)]
     recursive_rules = [rule for rule in rules if any(p in group_set for p in rule.body_predicates())]
@@ -123,17 +136,41 @@ def _evaluate_group(
     # instrumentation totals; otherwise the kernel loop below runs as before.
     if columnar_enabled():
         executor = build_group_executor(group, delta_plans, relations, derived, current)
-        if executor is not None and (columnar_forced() or executor.looks_profitable()):
-            executor.run(stats)
-            return
+        if executor is not None:
+            score = None if columnar_forced() else executor.profit_score()
+            if score is None or score >= executor.PROFIT_THRESHOLD:
+                if profile is not None:
+                    profile.record_group(
+                        stratum,
+                        group,
+                        "columnar",
+                        score=score,
+                        detail=DECISION_FORCED if score is None else DECISION_PROFITABLE,
+                    )
+                executor.stratum_index = stratum
+                executor.run(stats)
+                return
+            if profile is not None:
+                profile.record_group(
+                    stratum, group, "kernel-loop", score=score, detail=DECISION_UNPROFITABLE
+                )
+        elif profile is not None:
+            profile.record_group(stratum, group, "kernel-loop", detail=DECISION_NO_TEMPLATE)
+    elif profile is not None:
+        profile.record_group(stratum, group, "kernel-loop", detail=DECISION_COLUMNAR_OFF)
 
     # Iterate: apply recursive rules to the deltas only.
+    iteration = 0
     while any(not current[p].is_empty() for p in group):
         stats.record_iteration()
+        delta_total = sum(len(current[p]) for p in group)
         stats.record_state(
-            sum(len(current[p]) for p in group),
+            delta_total,
             sum(len(current[p]) * derived[p].arity for p in group),
         )
+        if profile is not None:
+            iteration += 1
+            iteration_started = _perf()
         for delta_predicate, occurrence, plan in delta_plans:
             delta_relation = current[delta_predicate]
             if delta_relation.is_empty():
@@ -151,6 +188,10 @@ def _evaluate_group(
             stale.clear()
             current[predicate] = spare[predicate]
             spare[predicate] = stale
+        if profile is not None:
+            profile.record_iteration(
+                stratum, iteration, delta_total, _perf() - iteration_started
+            )
 
 
 def overlay_relations(database: Database, derived: Dict[str, Relation]) -> Dict[str, Relation]:

@@ -8,7 +8,11 @@ Three pieces, each usable alone:
 * :mod:`repro.obs.trace` — :class:`Tracer`, bounded-ring span tracing with
   a slow-query log and JSONL export;
 * :mod:`repro.obs.exporter` — :class:`ObservabilityServer`, a
-  ``ThreadingHTTPServer`` exposing ``/metrics``, ``/healthz``, ``/statusz``.
+  ``ThreadingHTTPServer`` exposing ``/metrics``, ``/healthz``, ``/statusz``
+  and ``/debug/queries``;
+* :mod:`repro.obs.profile` — per-query EXPLAIN / EXPLAIN ANALYZE:
+  :func:`explain`, :class:`QueryProfile`, :class:`ProfileRecorder` and the
+  :class:`FlightRecorder` behind ``/debug/queries``.
 
 The :class:`NullRegistry`/:class:`NullTracer` pair is the default wiring
 everywhere: instrumented call sites cost a no-op method call until a real
@@ -27,11 +31,19 @@ from .metrics import (
     exponential_buckets,
     latency_buckets,
 )
+from .profile import (
+    FlightRecorder,
+    ProfileRecorder,
+    QueryProfile,
+    explain,
+    new_trace_id,
+)
 from .trace import NullTracer, Span, Tracer
 
 __all__ = [
     "CONTENT_TYPE",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "HealthReport",
     "Histogram",
@@ -39,8 +51,12 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "ObservabilityServer",
+    "ProfileRecorder",
+    "QueryProfile",
     "Span",
     "Tracer",
+    "explain",
     "exponential_buckets",
     "latency_buckets",
+    "new_trace_id",
 ]

@@ -10,7 +10,10 @@
   ``503`` with the failing checks named) — the load-balancer hook;
 * ``/statusz`` — a JSON merge of the pinned stats dictionaries plus whatever
   else the owner's status callable reports (epoch, flags, ...) — the
-  human/debugging hook.
+  human/debugging hook;
+* ``/debug/queries`` — the owner's query flight recorder
+  (:class:`repro.obs.profile.FlightRecorder`): live in-flight queries plus
+  the ring of recent :class:`~repro.obs.profile.QueryProfile` records.
 
 The server binds ``127.0.0.1`` by default and picks an ephemeral port when
 ``port=0``; :attr:`ObservabilityServer.port` is the bound port either way.
@@ -67,12 +70,14 @@ class ObservabilityServer:
         *,
         health: Optional[HealthProbe] = None,
         status: Optional[StatusProbe] = None,
+        debug: Optional[StatusProbe] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self.registry = registry
         self._health = health
         self._status = status
+        self._debug = debug
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -113,10 +118,14 @@ class ObservabilityServer:
             status = self._status() if self._status is not None else {}
             body = (json.dumps(status, indent=2, default=str) + "\n").encode("utf-8")
             self._respond(handler, 200, "application/json", body)
+        elif path == "/debug/queries":
+            debug = self._debug() if self._debug is not None else {}
+            body = (json.dumps(debug, indent=2, default=str) + "\n").encode("utf-8")
+            self._respond(handler, 200, "application/json", body)
         else:
             self._respond(
                 handler, 404, "text/plain; charset=utf-8",
-                b"unknown path; try /metrics, /healthz or /statusz\n",
+                b"unknown path; try /metrics, /healthz, /statusz or /debug/queries\n",
             )
 
     @staticmethod

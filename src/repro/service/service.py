@@ -27,6 +27,7 @@ read-your-writes when they want it.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -35,18 +36,26 @@ from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..datalog.database import Database
-from ..datalog.errors import EvaluationError, QueryTimeout
+from ..datalog.errors import EvaluationError, QueryTimeout, ReproError
 from ..datalog.relation import Row
 from ..datalog.rules import Program
-from ..engine.instrumentation import EvaluationStats, evaluation_deadline, stats_bridge
+from ..engine.instrumentation import (
+    EvaluationStats,
+    evaluation_deadline,
+    query_trace,
+    stats_bridge,
+)
 from ..engine.query import QueryResult, SelectionQuery, answer, as_selection_query
 from ..faults import fire as fire_fault
 from ..incremental.session import RowsLike, Session, as_rows
 from ..obs import (
+    FlightRecorder,
     MetricsRegistry,
     NullRegistry,
     NullTracer,
     ObservabilityServer,
+    ProfileRecorder,
+    QueryProfile,
     Tracer,
 )
 from ..storage import DurableStore, StorageConfig, StorageError
@@ -215,6 +224,12 @@ class ServiceResult:
     def stats(self) -> EvaluationStats:
         return self.result.stats
 
+    @property
+    def profile(self) -> Optional[QueryProfile]:
+        """The EXPLAIN ANALYZE record, when the query ran with ``profile=True``
+        (or was sampled / force-profiled)."""
+        return self.result.profile
+
     def __len__(self) -> int:
         return len(self.result.answers)
 
@@ -240,6 +255,8 @@ class DatalogService:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         retry: Optional[RetryPolicy] = None,
+        profile_sample: int = 0,
+        flight_capacity: int = 128,
     ) -> None:
         registry = metrics if metrics is not None else NullRegistry()
         trace = tracer if tracer is not None else NullTracer()
@@ -307,6 +324,15 @@ class DatalogService:
             )
         self._snapshot = take_snapshot(self.session)
         self.cache.advance(self._snapshot.epoch, set())
+        #: 1/N sampling rate for automatic profiling of cache-missing queries
+        #: (0 = explicit ``profile=True`` only); cache hits are never sampled
+        #: (nothing evaluates), and slow/timeout/error queries are always
+        #: profiled post hoc regardless
+        self.profile_sample = profile_sample
+        self._profile_seq = itertools.count(1)
+        self._trace_seq = itertools.count(1)
+        #: recent query profiles + live in-flight queries (``/debug/queries``)
+        self.flight = FlightRecorder(flight_capacity)
         self._closed = False
         self._obs_server: Optional[ObservabilityServer] = None
         self._install_observability(registry, trace)
@@ -443,7 +469,8 @@ class DatalogService:
     def serve_metrics(
         self, port: int = 0, host: str = "127.0.0.1"
     ) -> ObservabilityServer:
-        """Expose ``/metrics``, ``/healthz`` and ``/statusz`` over HTTP.
+        """Expose ``/metrics``, ``/healthz``, ``/statusz`` and
+        ``/debug/queries`` over HTTP.
 
         Starts a daemonized :class:`~repro.obs.ObservabilityServer` (pass
         ``port=0`` for an ephemeral port; read it back from the returned
@@ -462,6 +489,7 @@ class DatalogService:
             self.metrics,
             health=self._health_checks,
             status=self._status_report,
+            debug=self.flight.as_dict,
             host=host,
             port=port,
         )
@@ -545,6 +573,17 @@ class DatalogService:
                     None if threshold == float("inf") else threshold
                 ),
             },
+            "queries": {
+                "in_flight": self.flight.in_flight_count(),
+                "profiles_recorded": self.flight.profiles_recorded,
+                "profile_sample": self.profile_sample,
+                "flight_capacity": self.flight.capacity,
+            },
+            "recent_slow_queries": [
+                span.as_dict()
+                for span in self.tracer.slow_spans()[-10:]
+                if span.name == "slow_query"
+            ],
         }
 
     # ------------------------------------------------------------------
@@ -648,7 +687,11 @@ class DatalogService:
     # reads
     # ------------------------------------------------------------------
     def query(
-        self, query: Union[SelectionQuery, str], *, timeout: Optional[float] = None
+        self,
+        query: Union[SelectionQuery, str],
+        *,
+        timeout: Optional[float] = None,
+        profile: bool = False,
     ) -> ServiceResult:
         """Answer in the calling thread against the current published epoch.
 
@@ -658,28 +701,44 @@ class DatalogService:
         are effectively instant; the deadline matters for fallback
         evaluations, where it is enforced cooperatively once per fixpoint
         iteration.
+
+        ``profile=True`` is EXPLAIN ANALYZE: the returned result carries a
+        :class:`~repro.obs.profile.QueryProfile` (``result.profile``) with
+        the strategy, dispatch decisions, iteration timings, cache outcome
+        and the answer's own :class:`EvaluationStats`; the profile is also
+        recorded in the service's flight recorder (``/debug/queries``).
         """
         if self._closed:
             raise ServiceClosed("service is closed")
         selection = as_selection_query(self.session.program, query)
-        deadline = None if timeout is None else _now() + timeout
-        return self._answer(self._snapshot, selection, deadline)
+        submitted = _now()
+        deadline = None if timeout is None else submitted + timeout
+        return self._answer(self._snapshot, selection, deadline, profile, submitted)
 
     def submit(
-        self, query: Union[SelectionQuery, str], *, timeout: Optional[float] = None
+        self,
+        query: Union[SelectionQuery, str],
+        *,
+        timeout: Optional[float] = None,
+        profile: bool = False,
     ) -> "Future[ServiceResult]":
         """Dispatch to the reader pool; the epoch is pinned at submission time.
 
         The ``timeout`` deadline starts *now* — time spent waiting for a free
         reader thread counts against it, so a saturated pool fails queries
-        crisply instead of letting them queue past their usefulness.
+        crisply instead of letting them queue past their usefulness.  With
+        ``profile=True`` the profile's queueing-vs-execution split shows
+        exactly how long the query waited for a reader.
         """
         if self._closed:
             raise ServiceClosed("service is closed")
         selection = as_selection_query(self.session.program, query)
         snapshot = self._snapshot
-        deadline = None if timeout is None else _now() + timeout
-        return self._readers.submit(self._answer, snapshot, selection, deadline)
+        submitted = _now()
+        deadline = None if timeout is None else submitted + timeout
+        return self._readers.submit(
+            self._answer, snapshot, selection, deadline, profile, submitted
+        )
 
     def snapshot(self) -> ServiceSnapshot:
         """The currently published snapshot (immutable; safe to hold)."""
@@ -853,12 +912,22 @@ class DatalogService:
         snapshot: ServiceSnapshot,
         selection: SelectionQuery,
         deadline: Optional[float] = None,
+        want_profile: bool = False,
+        submitted_at: Optional[float] = None,
     ) -> ServiceResult:
         started = _now()
+        queued = started - submitted_at if submitted_at is not None else 0.0
+        trace_id = f"q-{next(self._trace_seq):08x}"
         if deadline is not None and started >= deadline:
             # covers time spent queued behind a saturated reader pool too:
             # submit() stamps the deadline at submission, this runs later
-            self._record_timeout(selection, started)
+            elapsed = self._record_timeout(
+                selection, started, trace_id, cache="none", strategy="admission"
+            )
+            self._finish_profile(
+                None, selection, trace_id, "timeout", "none", "admission",
+                None, snapshot.epoch, queued, elapsed,
+            )
             raise QueryTimeout(
                 f"query on {selection.predicate} missed its deadline before evaluation began"
             )
@@ -874,9 +943,33 @@ class DatalogService:
             with self._stats_lock:
                 self._stats.queries_served += 1
                 self._stats.cache_hits += 1
-            self._observe_query("cache_hit", selection, started)
+            elapsed = self._observe_query(
+                "cache_hit", selection, started,
+                trace_id=trace_id, strategy=result.strategy, cache="hit",
+            )
+            if want_profile:
+                recorder = ProfileRecorder(str(selection), trace_id=trace_id)
+                self._finish_profile(
+                    recorder, selection, trace_id, "ok", "hit", result.strategy,
+                    result.stats, snapshot.epoch, queued, elapsed,
+                    provenance=result.provenance, attach_to=result,
+                )
             return ServiceResult(result, snapshot.epoch, snapshot, cached=True)
 
+        # 1/N sampling targets queries that actually *evaluate*: a cache hit
+        # is one dict probe with nothing to profile, and exempting it keeps
+        # the hot hit path at literally zero profiling cost (the counter does
+        # not even advance) while the ring fills with profiles that carry
+        # plans and iterations
+        sample = self.profile_sample
+        sampled = (
+            not want_profile and sample > 0 and next(self._profile_seq) % sample == 0
+        )
+        recorder = (
+            ProfileRecorder(str(selection), trace_id=trace_id, sampled=sampled)
+            if (want_profile or sampled)
+            else None
+        )
         relation = snapshot.views.get(selection.predicate)
         if relation is None and selection.predicate in snapshot.edb:
             relation = snapshot.edb[selection.predicate]
@@ -901,12 +994,33 @@ class DatalogService:
             kind = "snapshot_lookups"
             engine_strategy = "snapshot-lookup"
         else:
+            # only fallback evaluations appear in the live in-flight table:
+            # they are the queries that can actually run long enough to be
+            # caught mid-flight (cache hits and frozen-relation lookups are
+            # effectively instant)
+            token = self.flight.begin(
+                trace_id, str(selection), deadline=deadline, epoch=snapshot.epoch
+            )
             try:
-                with evaluation_deadline(deadline):
+                with evaluation_deadline(deadline), query_trace(trace_id, recorder):
                     result = answer(self.session.program, snapshot.as_database(), selection)
             except QueryTimeout:
-                self._record_timeout(selection, started)
+                elapsed = self._record_timeout(
+                    selection, started, trace_id, cache="miss", strategy="fallback"
+                )
+                self._finish_profile(
+                    recorder, selection, trace_id, "timeout", "miss", "fallback",
+                    None, snapshot.epoch, queued, elapsed,
+                )
                 raise
+            except ReproError:
+                self._finish_profile(
+                    recorder, selection, trace_id, "error", "miss", "fallback",
+                    None, snapshot.epoch, queued, _now() - started,
+                )
+                raise
+            finally:
+                self.flight.end(token)
             engine_strategy = result.strategy.split(" ", 1)[0]
             result.strategy = f"{result.strategy} @snapshot {snapshot.epoch}"
             kind = "fallback_evaluations"
@@ -917,25 +1031,96 @@ class DatalogService:
             self._stats.cache_misses += 1
             setattr(self._stats, kind, getattr(self._stats, kind) + 1)
         self._engine_bridge.record(engine_strategy, result.stats)
-        self._observe_query(
+        elapsed = self._observe_query(
             "snapshot_lookup" if kind == "snapshot_lookups" else "fallback",
             selection,
             started,
+            trace_id=trace_id,
+            strategy=result.strategy,
+            cache="miss",
         )
+        if recorder is not None or elapsed >= self.tracer.slow_threshold_seconds:
+            # armed profiling, or a slow query force-profiled post hoc
+            self._finish_profile(
+                recorder, selection, trace_id, "ok", "miss", result.strategy,
+                result.stats, snapshot.epoch, queued, elapsed,
+                provenance=result.provenance, attach_to=result,
+            )
         return ServiceResult(result, snapshot.epoch, snapshot)
 
-    def _record_timeout(self, selection: SelectionQuery, started: float) -> None:
+    def _finish_profile(
+        self,
+        recorder: Optional[ProfileRecorder],
+        selection: SelectionQuery,
+        trace_id: str,
+        outcome: str,
+        cache: str,
+        strategy: str,
+        stats: Optional[EvaluationStats],
+        epoch: int,
+        queued: float,
+        execution: float,
+        provenance=None,
+        attach_to: Optional[QueryResult] = None,
+    ) -> QueryProfile:
+        """Assemble one query's profile and land it in the flight recorder.
+
+        With no armed ``recorder`` this is the *forced* path — slow, timed
+        out or errored queries get a post-hoc profile (no engine hooks ran,
+        so it carries outcome/cache/timing but no plans or iterations).
+        """
+        if recorder is None:
+            recorder = ProfileRecorder(str(selection), trace_id=trace_id, forced=True)
+        profile = recorder.build(
+            strategy=strategy,
+            stats=stats if stats is not None else EvaluationStats(),
+            outcome=outcome,
+            cache=cache,
+            epoch=epoch,
+            queued_seconds=queued,
+            execution_seconds=execution,
+            provenance=provenance,
+        )
+        self.flight.record(profile)
+        if attach_to is not None:
+            attach_to.profile = profile
+        return profile
+
+    def _record_timeout(
+        self,
+        selection: SelectionQuery,
+        started: float,
+        trace_id: Optional[str] = None,
+        *,
+        cache: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> float:
         """Count one missed query deadline (kept off the pinned ServiceStats)."""
         with self._stats_lock:
             self.robust.query_timeouts += 1
-        self._observe_query("timeout", selection, started)
+        return self._observe_query(
+            "timeout", selection, started,
+            trace_id=trace_id, strategy=strategy, cache=cache,
+        )
 
-    def _observe_query(self, outcome: str, selection: SelectionQuery, started: float) -> None:
+    def _observe_query(
+        self,
+        outcome: str,
+        selection: SelectionQuery,
+        started: float,
+        *,
+        trace_id: Optional[str] = None,
+        strategy: Optional[str] = None,
+        cache: Optional[str] = None,
+    ) -> float:
         """Record one answered query's latency (and maybe a slow-query span).
 
         With observability off both calls are no-ops; the span is only
         materialized when the latency clears the tracer's slow threshold, so
-        the fast path never allocates one.
+        the fast path never allocates one.  Slow-query records carry the
+        query's trace ID, strategy, epoch and cache outcome, linking each
+        log entry to its :class:`~repro.obs.profile.QueryProfile`.  Returns
+        the elapsed seconds so callers reuse the measurement.
         """
         elapsed = _now() - started
         self._query_seconds[outcome](elapsed)
@@ -946,7 +1131,11 @@ class DatalogService:
                 predicate=selection.predicate,
                 outcome=outcome,
                 epoch=self.epoch,
+                trace_id=trace_id,
+                strategy=strategy,
+                cache=cache,
             )
+        return elapsed
 
     # ------------------------------------------------------------------
     # internals: flushing

@@ -27,6 +27,11 @@ tuple:
   of the pinned modes must match exactly — the batch executor reproduces
   the interpreted engine's instrumentation contract, not just its model —
   which is what licenses shipping the fast paths as the default runtime.
+  Each pinned run also rides with an armed EXPLAIN ANALYZE recorder
+  (:class:`repro.obs.profile.ProfileRecorder`): the resulting profile must
+  report the same stats totals, and its dispatch provenance (kernel vs.
+  interpreted vs. leapfrog, columnar vs. kernel-loop group decisions) must
+  stay inside the set of paths the pinned mode can actually take.
 
 A mismatch produces a report carrying the offending seed, so any failure is
 reproducible with ``generate_case(seed)``.
@@ -43,11 +48,17 @@ from ..datalog.errors import EvaluationError
 from ..datalog.relation import Row
 from ..engine.columnar import columnar_mode
 from ..engine.domain import interning_mode
-from ..engine.instrumentation import EvaluationStats
+from ..engine.instrumentation import EvaluationStats, query_trace
 from ..engine.kernels import kernel_mode
 from ..engine.naive import naive_evaluate
 from ..engine.query import answer
-from ..engine.seminaive import seminaive_evaluate
+from ..engine.seminaive import (
+    DECISION_COLUMNAR_OFF,
+    DECISION_FORCED,
+    DECISION_NO_TEMPLATE,
+    seminaive_evaluate,
+)
+from ..obs.profile import ProfileRecorder, QueryProfile
 from .generate import DifferentialCase
 
 #: depth bound handed to the counting method; generated cyclic cases trip it
@@ -72,6 +83,78 @@ class DifferentialReport:
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.mismatches)} mismatches"
         return f"{self.case.name} ({self.case.description}): {status}"
+
+
+def _profile_mismatches(
+    engine: str, columnar: bool, profile: QueryProfile, totals: Dict[str, float]
+) -> List[str]:
+    """Check one mode's EXPLAIN ANALYZE profile against the pinned run.
+
+    The profile is the user-facing account of what the engine did; if it
+    disagrees with the instrumentation totals or claims a dispatch path the
+    pinned mode cannot take, the observability layer is lying about the
+    engine and the differential batch must fail.
+    """
+    problems: List[str] = []
+
+    if profile.stats is None:
+        return [f"{engine}: profile carries no EvaluationStats"]
+    profile_totals = profile.stats.as_dict()
+    profile_totals.pop("elapsed_seconds", None)
+    if profile_totals != totals:
+        drifted = sorted(
+            key
+            for key in set(profile_totals) | set(totals)
+            if profile_totals.get(key) != totals.get(key)
+        )
+        problems.append(
+            f"{engine}: profile stats diverge from pinned totals ({', '.join(drifted)})"
+        )
+
+    # Dispatch provenance: each pinned mode can only reach a known subset of
+    # execution paths.  The interpreted mode must never claim a kernel ran;
+    # the non-columnar modes must report the batch executor as switched off;
+    # the forced-columnar mode must either run the batch executor (detail
+    # "forced") or explain why the group had no batch template.
+    if engine == "interpreted":
+        allowed = {"interpreted"}
+    elif columnar:
+        allowed = {"kernel", "interpreted", "leapfrog"}
+    else:
+        allowed = {"kernel", "interpreted"}
+    dispatches = {plan.dispatch for plan in profile.plans}
+    if not dispatches <= allowed:
+        problems.append(
+            f"{engine}: profile reports dispatches {sorted(dispatches - allowed)} "
+            f"outside the mode's reachable set {sorted(allowed)}"
+        )
+    if not columnar and not profile.plans and totals.get("lookups", 0):
+        # outside the batch executor every lookup flows through a compiled
+        # plan, so lookups without a recorded plan mean a missing hook
+        problems.append(f"{engine}: lookups recorded but the profile has no plans")
+
+    for decision in profile.strata:
+        if not columnar:
+            if decision.dispatch != "kernel-loop" or decision.detail != DECISION_COLUMNAR_OFF:
+                problems.append(
+                    f"{engine}: stratum {decision.stratum} decision "
+                    f"{decision.dispatch!r}/{decision.detail!r}; expected "
+                    f"kernel-loop/{DECISION_COLUMNAR_OFF!r} with the executor off"
+                )
+        elif decision.dispatch == "columnar":
+            if decision.detail != DECISION_FORCED:
+                problems.append(
+                    f"{engine}: columnar stratum {decision.stratum} detail "
+                    f"{decision.detail!r}; forced mode must report {DECISION_FORCED!r}"
+                )
+        elif decision.detail != DECISION_NO_TEMPLATE:
+            problems.append(
+                f"{engine}: stratum {decision.stratum} fell back to the kernel loop "
+                f"with detail {decision.detail!r}; forced mode only falls back for "
+                f"{DECISION_NO_TEMPLATE!r}"
+            )
+
+    return problems
 
 
 def run_differential(case: DifferentialCase) -> DifferentialReport:
@@ -111,12 +194,19 @@ def run_differential(case: DifferentialCase) -> DifferentialReport:
         ("columnar", True, True, "force"),
     ):
         stats = EvaluationStats()
+        recorder = ProfileRecorder(str(query), trace_id=f"diff-{engine}-{case.name}")
         with kernel_mode(kernels), interning_mode(interning), columnar_mode(columnar):
-            mode_derived = seminaive_evaluate(program, database, stats)
+            # arm the EXPLAIN ANALYZE recorder around the same evaluation the
+            # tuple/stats checks use: the profile must be a faithful account
+            # of the run it rode along with, not a separate re-execution
+            with query_trace(recorder.trace_id, recorder):
+                mode_derived = seminaive_evaluate(program, database, stats)
         totals = stats.as_dict()
         totals.pop("elapsed_seconds", None)
         mode_stats[engine] = totals
         report.engines[engine] = "ok"
+        profile = recorder.build(strategy=f"seminaive[{engine}]", stats=stats)
+        report.mismatches.extend(_profile_mismatches(engine, bool(columnar), profile, totals))
         for predicate in sorted(set(semi_derived) | set(mode_derived)):
             semi_rows = semi_derived[predicate].rows() if predicate in semi_derived else set()
             mode_rows = mode_derived[predicate].rows() if predicate in mode_derived else set()

@@ -1,0 +1,117 @@
+"""EXPLAIN without executing: ``repro.explain`` plan-only profiles.
+
+The contract under test: ``explain(program, query, database)`` predicts the
+strategy the ``auto`` front door picks (it replays the same decision ladder
+the rewrites drive), describes the compiled join plans with their predicted
+dispatch, reports the optimizer rewrite provenance — and touches no stored
+tuple while doing any of it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import Database, QueryProfile, answer, explain, parse_program
+
+TC = """
+t(X, Y) :- a(X, Z), t(Z, Y).
+t(X, Y) :- b(X, Y).
+"""
+
+SG = """
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+"""
+
+
+def tc_database():
+    return Database.from_dict({"a": [(1, 2), (2, 3)], "b": [(3, 4)]})
+
+
+def sg_database():
+    return Database.from_dict(
+        {"flat": [(3, 4)], "up": [(1, 3), (2, 3)], "down": [(4, 5)]}
+    )
+
+
+class TestExplain:
+    def test_explain_is_plan_only(self):
+        profile = explain(parse_program(TC), "t(1, Y)?", tc_database())
+        assert isinstance(profile, QueryProfile)
+        assert profile.outcome == "plan-only"
+        assert profile.iterations == []
+        assert profile.stats.as_dict()["lookups"] == 0
+        assert profile.stats.as_dict()["tuples_examined"] == 0
+
+    def test_explain_does_not_touch_the_database(self):
+        database = tc_database()
+        before = {
+            relation.name: set(relation.rows()) for relation in database.relations()
+        }
+        explain(parse_program(TC), "t(1, Y)?", database)
+        after = {
+            relation.name: set(relation.rows()) for relation in database.relations()
+        }
+        assert after == before
+
+    @pytest.mark.parametrize(
+        ("program_text", "database_factory", "query"),
+        [
+            (TC, tc_database, "t(1, Y)?"),
+            (TC, tc_database, "t(X, Y)?"),
+            (SG, sg_database, "sg(1, Y)?"),
+            (SG, sg_database, "sg(X, Y)?"),
+        ],
+    )
+    def test_prediction_matches_what_answer_picks(
+        self, program_text, database_factory, query
+    ):
+        program = parse_program(program_text)
+        database = database_factory()
+        predicted = explain(program, query, database).strategy
+        actual = answer(program, database, query).strategy
+        # the prediction names the strategy family; the executed strategy may
+        # add a direction suffix (one-sided-forward/-backward)
+        family = predicted.split(" (", 1)[0]
+        assert actual.startswith(family), f"predicted {predicted!r}, ran {actual!r}"
+
+    def test_plans_describe_join_order_and_dispatch(self):
+        profile = explain(parse_program(TC), "t(1, Y)?", tc_database())
+        assert profile.plans
+        for plan in profile.plans:
+            assert plan.dispatch in {"interpreted", "kernel", "leapfrog"}
+            assert all("[scan]" in s or "[probe" in s for s in plan.join_order)
+        rendered = profile.render()
+        assert "PLANS" in rendered
+        assert "STRATEGY" in rendered
+        assert "TIMING" not in rendered  # nothing ran, so nothing to time
+
+    def test_rewrite_provenance_is_reported(self):
+        profile = explain(parse_program(TC), "t(1, Y)?", tc_database())
+        assert profile.rewrites
+        assert any("sidedness" in line for line in profile.rewrites)
+
+    def test_explain_works_without_a_database(self):
+        profile = explain(parse_program(TC), "t(1, Y)?")
+        assert profile.outcome == "plan-only"
+        assert profile.plans  # join orders fall back to the written order
+
+    def test_explain_of_an_undefined_predicate_still_explains(self):
+        # the optimizer cannot run (the predicate has no rules), but explain
+        # degrades to the semi-naive prediction instead of raising
+        profile = explain(parse_program(TC), "nope(1, Y)?", tc_database())
+        assert profile.outcome == "plan-only"
+        assert profile.strategy.startswith("seminaive")
+
+    def test_profile_serializes_for_debug_queries(self):
+        profile = explain(parse_program(SG), "sg(1, Y)?", sg_database())
+        payload = json.loads(json.dumps(profile.as_dict(), default=str))
+        assert payload["outcome"] == "plan-only"
+        assert payload["plans"]
+
+    def test_explain_is_exported_at_top_level(self):
+        assert "explain" in repro.__all__
+        assert repro.explain is explain

@@ -224,11 +224,26 @@ class TestEndpoints:
         assert payload["tracing"]["spans_recorded"] == service.tracer.spans_recorded
         assert payload["tracing"]["slow_threshold_seconds"] == 0.1
 
-    def test_unknown_paths_get_404(self, service):
+    def test_unknown_paths_get_404_naming_every_endpoint(self, service):
         server = service.serve_metrics()
         status, _content_type, body = get(server.url("/nope"))
         assert status == 404
-        assert "/metrics" in body
+        for endpoint in ("/metrics", "/healthz", "/statusz", "/debug/queries"):
+            assert endpoint in body
+
+    def test_debug_queries_serves_the_flight_recorder(self, service):
+        service.query("t(1, Y)?", profile=True)
+        server = service.serve_metrics()
+        status, content_type, body = get(server.url("/debug/queries"))
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["in_flight"] == []
+        assert payload["profiles_recorded"] == 1
+        (profile,) = payload["recent_profiles"]
+        assert profile["query"] == "t(1, C1)?"
+        assert profile["outcome"] == "ok"
+        assert profile["trace_id"] == service.flight.profiles()[0].trace_id
 
     def test_serve_metrics_is_idempotent(self, service):
         server = service.serve_metrics()
@@ -269,6 +284,97 @@ class TestEndpoints:
             status, _ct, body = get(server.url("/healthz"))
             assert status == 200  # no checks registered -> vacuously healthy
             assert json.loads(body)["checks"] == {}
+
+
+# ----------------------------------------------------------------------
+# exporter error paths
+# ----------------------------------------------------------------------
+class TestExporterErrorPaths:
+    def test_scrapes_racing_close_never_crash_the_server(self):
+        """Hammer every endpoint from threads while close() runs underneath.
+
+        The contract: in-flight requests either complete or fail with a
+        connection error on the *client* side; nothing hangs, close()
+        returns, and close() stays idempotent afterwards.
+        """
+        import threading
+
+        registry = MetricsRegistry()
+        registry.counter("race_total", "Race.").inc(1)
+        server = ObservabilityServer(registry)
+        urls = [
+            server.url(path)
+            for path in ("/metrics", "/healthz", "/statusz", "/debug/queries")
+        ]
+        stop = threading.Event()
+        failures = []
+
+        def hammer(url):
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=2) as response:
+                        response.read()
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    pass  # the race we are provoking; must not hang or leak
+                except Exception as error:  # noqa: BLE001 - anything else is a bug
+                    failures.append(error)
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(url,), daemon=True) for url in urls
+        ]
+        for thread in threads:
+            thread.start()
+        server.close()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        assert failures == []
+        server.close()  # idempotent after the race
+
+    def test_debug_queries_shows_live_in_flight_queries(self):
+        """Scrape /debug/queries *while* a slow fallback query evaluates."""
+        import time
+
+        closure = """
+        t(X, Y) :- a(X, Y).
+        t(X, Y) :- a(X, Z), t(Z, Y).
+        """
+        database = Database.from_dict({"a": [(i, i + 1) for i in range(600)]})
+        with DatalogService(
+            closure, database, flush_policy=manual_flush_policy()
+        ) as svc:
+            server = svc.serve_metrics()
+            # only fallback evaluations are tracked in flight; drop the
+            # materialized view so the unbound closure actually evaluates
+            svc._snapshot.views.pop("t")
+            future = svc.submit("t(X, Y)?", timeout=60.0)
+            seen = None
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                _status, _ct, body = get(server.url("/debug/queries"))
+                payload = json.loads(body)
+                if payload["in_flight"]:
+                    seen = payload["in_flight"]
+                    break
+            assert seen is not None, "the evaluating query never showed up live"
+            (row,) = seen
+            assert row["query"] == "t(C0, C1)?"
+            assert row["trace_id"].startswith("q-")
+            assert row["elapsed_seconds"] >= 0
+            assert row["deadline_seconds"] > 0
+            result = future.result(timeout=120.0)
+            assert len(result.answers) == 600 * 601 // 2
+            # evaluation finished: the live table drains again
+            _status, _ct, body = get(server.url("/debug/queries"))
+            assert json.loads(body)["in_flight"] == []
+
+    def test_standalone_server_serves_empty_debug_payload(self):
+        with ObservabilityServer(MetricsRegistry()) as server:
+            status, _ct, body = get(server.url("/debug/queries"))
+            assert status == 200
+            assert json.loads(body) == {}
 
 
 # ----------------------------------------------------------------------

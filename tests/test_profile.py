@@ -1,0 +1,378 @@
+"""EXPLAIN ANALYZE profiles, trace-ID propagation, and the flight recorder.
+
+Covers the ``repro.obs.profile`` tentpole at every layer it is surfaced:
+``answer(..., profile=True)`` on the engine front door,
+``DatalogService.query(..., profile=True)`` (plus 1/N sampling and the
+forced profiles for slow / timed-out / errored queries), and the
+:class:`FlightRecorder` ring behind ``/debug/queries``.  The acceptance
+criterion throughout is agreement with the pinned instrumentation: a
+profile's stats are the *same* totals the result reports, and its trace ID
+is the one stamped on the query's spans and slow-query records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    Database,
+    DatalogService,
+    FlightRecorder,
+    FlushPolicy,
+    MetricsRegistry,
+    QueryProfile,
+    QueryTimeout,
+    Tracer,
+    answer,
+    parse_program,
+)
+from repro.obs.profile import ProfileRecorder
+
+TC = """
+t(X, Y) :- a(X, Z), t(Z, Y).
+t(X, Y) :- b(X, Y).
+"""
+
+
+def tc_program():
+    return parse_program(TC)
+
+
+def chain_database(length=60):
+    return Database.from_dict(
+        {"a": [(i, i + 1) for i in range(length)], "b": [(length, length + 1)]}
+    )
+
+
+def manual_flush_policy():
+    return FlushPolicy(max_batch=1_000_000, max_delay_seconds=3600.0)
+
+
+# ----------------------------------------------------------------------
+# answer(..., profile=True): the engine front door
+# ----------------------------------------------------------------------
+class TestAnswerProfile:
+    def test_profile_off_by_default(self):
+        result = answer(tc_program(), chain_database(), "t(1, Y)?")
+        assert result.profile is None
+
+    def test_profile_does_not_change_answers(self):
+        plain = answer(tc_program(), chain_database(), "t(1, Y)?")
+        profiled = answer(tc_program(), chain_database(), "t(1, Y)?", profile=True)
+        assert profiled.answers == plain.answers
+        assert profiled.strategy == plain.strategy
+
+    def test_profile_stats_are_the_result_stats(self):
+        result = answer(tc_program(), chain_database(), "t(1, Y)?", profile=True)
+        profile = result.profile
+        assert isinstance(profile, QueryProfile)
+        assert profile.outcome == "ok"
+        assert profile.strategy == result.strategy
+        # the profile carries the evaluation's own stats, not a copy that
+        # could drift — that is the acceptance criterion
+        assert profile.stats is result.stats
+        assert profile.execution_seconds > 0
+
+    def test_trace_id_is_caller_controllable(self):
+        result = answer(
+            tc_program(), chain_database(), "t(1, Y)?", profile=True,
+            trace_id="trace-under-test",
+        )
+        assert result.profile.trace_id == "trace-under-test"
+
+    def test_default_trace_ids_are_fresh(self):
+        first = answer(tc_program(), chain_database(), "t(1, Y)?", profile=True)
+        second = answer(tc_program(), chain_database(), "t(1, Y)?", profile=True)
+        assert first.profile.trace_id != second.profile.trace_id
+
+    def test_seminaive_profile_records_plans_and_iterations(self):
+        result = answer(
+            tc_program(), chain_database(), "t(X, Y)?",
+            strategy="seminaive", profile=True,
+        )
+        profile = result.profile
+        assert profile.plans, "semi-naive evaluation must record compiled plans"
+        assert {plan.dispatch for plan in profile.plans} <= {
+            "interpreted", "kernel", "leapfrog"
+        }
+        for plan in profile.plans:
+            assert plan.join_order  # every body atom annotated scan/probe
+            assert all("[scan]" in s or "[probe" in s for s in plan.join_order)
+        assert profile.iterations, "the fixpoint loop must sample iterations"
+        assert all(sample.delta_tuples >= 0 for sample in profile.iterations)
+        assert profile.counters["strata_entered"] >= 1
+        assert profile.counters["iterations_sampled"] == len(profile.iterations)
+
+    def test_rewrites_come_from_the_optimizer_provenance(self):
+        result = answer(tc_program(), chain_database(), "t(1, Y)?", profile=True)
+        assert result.provenance is not None
+        assert result.profile.rewrites == [
+            str(rewrite) for rewrite in result.provenance.rewrites
+        ]
+
+    def test_render_and_as_dict_round_trip(self):
+        result = answer(
+            tc_program(), chain_database(), "t(X, Y)?",
+            strategy="seminaive", profile=True, trace_id="render-test",
+        )
+        text = result.profile.render()
+        for section in ("QUERY", "TRACE", "STRATEGY", "TIMING", "PLANS", "STATS"):
+            assert section in text
+        assert "render-test" in text
+        payload = json.loads(json.dumps(result.profile.as_dict(), default=str))
+        assert payload["trace_id"] == "render-test"
+        assert payload["outcome"] == "ok"
+        assert payload["stats"]["lookups"] == result.stats.lookups
+        assert len(payload["plans"]) == len(result.profile.plans)
+
+
+# ----------------------------------------------------------------------
+# the recorder's caps (a pathological query cannot grow a profile forever)
+# ----------------------------------------------------------------------
+class TestRecorderCaps:
+    def test_plans_are_capped_and_drops_counted(self):
+        recorder = ProfileRecorder("q", max_plans=2)
+
+        class FakeStep:
+            predicate = "p"
+            probe_columns = ()
+
+        class FakePlan:
+            rule = "p(X) :- q(X)."
+            steps = (FakeStep(),)
+
+        plans = [FakePlan() for _ in range(5)]
+        for plan in plans:
+            recorder.record_dispatch(plan, "kernel")
+        profile = recorder.build(strategy="test")
+        assert len(profile.plans) == 2
+        assert profile.counters["plans_dropped"] == 3
+
+    def test_repeat_applications_dedupe_instead_of_growing(self):
+        recorder = ProfileRecorder("q", max_plans=2)
+
+        class FakeStep:
+            predicate = "p"
+            probe_columns = (0,)
+
+        class FakePlan:
+            rule = "p(X) :- q(X)."
+            steps = (FakeStep(),)
+
+        plan = FakePlan()
+        for _ in range(10):
+            recorder.record_dispatch(plan, "kernel")
+        profile = recorder.build(strategy="test")
+        assert len(profile.plans) == 1
+        assert profile.plans[0].applications == 10
+        assert "plans_dropped" not in profile.counters
+
+    def test_iterations_are_capped_and_drops_counted(self):
+        recorder = ProfileRecorder("q", max_iterations=3)
+        for iteration in range(10):
+            recorder.record_iteration(0, iteration, 5, 0.001)
+        profile = recorder.build(strategy="test")
+        assert len(profile.iterations) == 3
+        assert profile.counters["iterations_dropped"] == 7
+
+
+# ----------------------------------------------------------------------
+# the flight recorder ring + in-flight table
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+
+    def test_ring_is_bounded_but_the_lifetime_counter_is_not(self):
+        flight = FlightRecorder(3)
+        for index in range(5):
+            flight.record(QueryProfile(query=f"q{index}?", trace_id=f"t{index}"))
+        assert len(flight) == 3
+        assert flight.profiles_recorded == 5
+        assert [p.trace_id for p in flight.profiles()] == ["t2", "t3", "t4"]
+
+    def test_in_flight_rows_report_elapsed_and_deadline_budget(self):
+        flight = FlightRecorder()
+        import time
+
+        token = flight.begin(
+            "trace-1", "t(1, Y)?", deadline=time.perf_counter() + 30.0, epoch=7
+        )
+        (row,) = flight.in_flight()
+        assert row["trace_id"] == "trace-1"
+        assert row["query"] == "t(1, Y)?"
+        assert row["epoch"] == 7
+        assert row["elapsed_seconds"] >= 0
+        assert 0 < row["deadline_seconds"] <= 30.0
+        flight.end(token)
+        flight.end(token)  # idempotent
+        assert flight.in_flight() == []
+        assert flight.in_flight_count() == 0
+
+    def test_as_dict_is_the_debug_queries_payload(self):
+        flight = FlightRecorder(2)
+        flight.record(QueryProfile(query="q?", trace_id="t1"))
+        payload = json.loads(json.dumps(flight.as_dict(), default=str))
+        assert set(payload) == {
+            "in_flight", "recent_profiles", "profiles_recorded", "capacity"
+        }
+        assert payload["capacity"] == 2
+        assert payload["profiles_recorded"] == 1
+        assert payload["recent_profiles"][0]["trace_id"] == "t1"
+
+
+# ----------------------------------------------------------------------
+# the service layer: profile=True, sampling, forced profiles
+# ----------------------------------------------------------------------
+class TestServiceProfile:
+    @pytest.fixture
+    def service(self):
+        with DatalogService(
+            TC,
+            chain_database(),
+            flush_policy=manual_flush_policy(),
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        ) as svc:
+            yield svc
+
+    def test_query_profile_matches_the_pinned_result_stats(self, service):
+        result = service.query("t(1, Y)?", profile=True)
+        profile = result.profile
+        assert profile is not None
+        assert profile.outcome == "ok"
+        assert profile.cache == "miss"
+        assert profile.epoch == service.epoch
+        assert profile.stats is result.result.stats
+        assert profile.trace_id.startswith("q-")
+        # the profile landed in the flight recorder too
+        assert [p.trace_id for p in service.flight.profiles()] == [profile.trace_id]
+
+    def test_cache_hit_profile_reports_the_hit(self, service):
+        service.query("t(1, Y)?")
+        result = service.query("t(1, Y)?", profile=True)
+        profile = result.profile
+        assert result.cached
+        assert profile.cache == "hit"
+        assert profile.strategy.startswith("epoch-cache@")
+        assert profile.plans == []  # nothing evaluated
+
+    def test_unprofiled_queries_record_nothing(self, service):
+        service.query("t(1, Y)?")
+        service.query("t(1, Y)?")
+        assert service.query("t(1, Y)?").profile is None
+        assert service.flight.profiles() == []
+        assert service.flight.profiles_recorded == 0
+
+    def test_profile_sample_records_every_nth_cache_miss(self):
+        with DatalogService(
+            TC,
+            chain_database(),
+            flush_policy=manual_flush_policy(),
+            profile_sample=2,
+        ) as svc:
+            for start in range(1, 9):
+                svc.query(f"t({start}, Y)?")  # distinct keys: 8 cache misses
+            profiles = svc.flight.profiles()
+            assert len(profiles) == 4  # every 2nd miss
+            assert all(p.sampled for p in profiles)
+            assert all(not p.forced for p in profiles)
+
+    def test_cache_hits_are_never_sampled(self):
+        with DatalogService(
+            TC,
+            chain_database(),
+            flush_policy=manual_flush_policy(),
+            profile_sample=1,  # sample every miss...
+        ) as svc:
+            for _ in range(5):
+                svc.query("t(1, Y)?")
+            # ...but only the first query missed; the 4 hits evaluate nothing
+            # and cost nothing, so they are exempt from sampling
+            assert svc.flight.profiles_recorded == 1
+            (profile,) = svc.flight.profiles()
+            assert profile.cache == "miss"
+
+    def test_slow_queries_are_force_profiled_with_matching_trace_ids(self):
+        with DatalogService(
+            TC,
+            chain_database(),
+            flush_policy=manual_flush_policy(),
+            tracer=Tracer(slow_threshold_seconds=0.0),
+        ) as svc:
+            svc.query("t(1, Y)?")  # threshold 0: everything is "slow"
+            (profile,) = svc.flight.profiles()
+            assert profile.forced
+            assert profile.outcome == "ok"
+            (span,) = svc.tracer.slow_spans()
+            assert span.name == "slow_query"
+            # the slow-query record, the span and the profile share a trace ID
+            assert span.attributes["trace_id"] == profile.trace_id
+            assert span.attributes["strategy"] == profile.strategy
+            assert span.attributes["cache"] == "miss"
+            assert span.attributes["epoch"] == profile.epoch
+
+    def test_admission_timeouts_leave_a_forced_timeout_profile(self, service):
+        with pytest.raises(QueryTimeout):
+            service.query("t(1, Y)?", timeout=0.0)
+        (profile,) = service.flight.profiles()
+        assert profile.outcome == "timeout"
+        assert profile.forced
+        assert profile.strategy == "admission"
+        assert profile.cache == "none"
+
+    def test_fallback_evaluation_profiles_through_the_engine_hooks(self):
+        # same-generation, unbound: the auto ladder routes it to semi-naive,
+        # which runs the compiled-plan engine and so feeds the plan hooks
+        program = """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        """
+        database = Database.from_dict(
+            {"flat": [(3, 4)], "up": [(1, 3), (2, 3)], "down": [(4, 5)]}
+        )
+        with DatalogService(
+            program, database, flush_policy=manual_flush_policy()
+        ) as svc:
+            # drop the materialized view so the query takes the fallback
+            # evaluation path (the one the in-flight table tracks)
+            svc._snapshot.views.pop("sg")
+            result = svc.query("sg(X, Y)?", profile=True)
+            profile = result.profile
+            assert profile.cache == "miss"
+            assert profile.strategy.startswith("seminaive")
+            assert "@snapshot" in profile.strategy
+            assert profile.plans, "fallback evaluation must record real plans"
+            assert profile.stats is result.result.stats
+            assert svc.stats.fallback_evaluations == 1
+            assert svc.flight.in_flight_count() == 0  # deregistered on exit
+
+    def test_timed_out_fallback_leaves_a_timeout_profile(self):
+        closure = """
+        t(X, Y) :- a(X, Y).
+        t(X, Y) :- a(X, Z), t(Z, Y).
+        """
+        database = Database.from_dict({"a": [(i, i + 1) for i in range(800)]})
+        with DatalogService(
+            closure, database, flush_policy=manual_flush_policy()
+        ) as svc:
+            svc._snapshot.views.pop("t")
+            with pytest.raises(QueryTimeout):
+                # the full unbound closure is ~320k tuples: the cooperative
+                # per-iteration deadline check fires long before it finishes
+                svc.query("t(X, Y)?", timeout=0.05)
+            (profile,) = svc.flight.profiles()
+            assert profile.outcome == "timeout"
+            assert profile.cache == "miss"
+            assert profile.strategy == "fallback"
+            assert svc.flight.in_flight_count() == 0
+
+    def test_statusz_counts_agree_with_the_flight_recorder(self, service):
+        service.query("t(1, Y)?", profile=True)
+        report = service._status_report()
+        assert report["queries"]["profiles_recorded"] == 1
+        assert report["queries"]["in_flight"] == 0
+        assert report["queries"]["flight_capacity"] == service.flight.capacity
